@@ -1,0 +1,100 @@
+// Experiment E9: real multicore wall-clock times (google-benchmark).
+//
+// The PRAM results are about operation counts; this suite grounds the
+// simulator on actual hardware: sequential DP vs the diagonal-parallel
+// wavefront vs the sublinear solver across execution backends, plus the
+// raw pebbling game. On a machine with few cores the speedups are
+// correspondingly modest — the *shape* to check is that parallel backends
+// do not lose to serial on the larger sizes and that solver time is
+// dominated by the a-square step.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sublinear_solver.hpp"
+#include "dp/matrix_chain.hpp"
+#include "dp/sequential.hpp"
+#include "dp/wavefront.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "trees/generators.hpp"
+#include "trees/pebble_game.hpp"
+
+namespace {
+
+using namespace subdp;
+
+dp::MatrixChainProblem make_chain(std::size_t n) {
+  support::Rng rng(1234 + n);
+  return dp::MatrixChainProblem::random(n, rng);
+}
+
+void BM_SequentialDp(benchmark::State& state) {
+  const auto problem = make_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::solve_sequential(problem).cost);
+  }
+}
+BENCHMARK(BM_SequentialDp)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Wavefront(benchmark::State& state) {
+  const auto problem = make_chain(static_cast<std::size_t>(state.range(0)));
+  const auto backend = static_cast<pram::Backend>(state.range(1));
+  pram::MachineOptions opts;
+  opts.backend = backend;
+  opts.record_costs = false;
+  for (auto _ : state) {
+    pram::Machine machine(opts);
+    benchmark::DoNotOptimize(dp::solve_wavefront(problem, machine).cost);
+  }
+  state.SetLabel(pram::to_string(backend));
+}
+BENCHMARK(BM_Wavefront)
+    ->Args({256, static_cast<int>(pram::Backend::kSerial)})
+    ->Args({256, static_cast<int>(pram::Backend::kThreadPool)})
+    ->Args({256, static_cast<int>(pram::Backend::kOpenMP)});
+
+void BM_SublinearBanded(benchmark::State& state) {
+  const auto problem = make_chain(static_cast<std::size_t>(state.range(0)));
+  const auto backend = static_cast<pram::Backend>(state.range(1));
+  for (auto _ : state) {
+    core::SublinearOptions options;
+    options.machine.backend = backend;
+    options.machine.record_costs = false;
+    core::SublinearSolver solver(options);
+    benchmark::DoNotOptimize(solver.solve(problem).cost);
+  }
+  state.SetLabel(pram::to_string(backend));
+}
+BENCHMARK(BM_SublinearBanded)
+    ->Args({32, static_cast<int>(pram::Backend::kSerial)})
+    ->Args({32, static_cast<int>(pram::Backend::kThreadPool)})
+    ->Args({64, static_cast<int>(pram::Backend::kSerial)})
+    ->Args({64, static_cast<int>(pram::Backend::kThreadPool)})
+    ->Args({64, static_cast<int>(pram::Backend::kOpenMP)});
+
+void BM_SublinearDense(benchmark::State& state) {
+  const auto problem = make_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::SublinearOptions options;
+    options.variant = core::PwVariant::kDense;
+    options.machine.record_costs = false;
+    core::SublinearSolver solver(options);
+    benchmark::DoNotOptimize(solver.solve(problem).cost);
+  }
+}
+BENCHMARK(BM_SublinearDense)->Arg(32)->Arg(48);
+
+void BM_PebbleGame(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tree = trees::make_tree(trees::TreeShape::kZigzag, n);
+  for (auto _ : state) {
+    trees::PebbleGame game(tree);
+    game.run_until_root(support::two_ceil_sqrt(n));
+    benchmark::DoNotOptimize(game.moves_made());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tree.node_count()));
+}
+BENCHMARK(BM_PebbleGame)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared helpers for the experiment binaries: problem factories keyed by
+/// instance-family name, and fit-reporting utilities.
+
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dp/matrix_chain.hpp"
+#include "dp/optimal_bst.hpp"
+#include "dp/polygon_triangulation.hpp"
+#include "dp/tabulated.hpp"
+#include "dp/tree_shaped.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table_writer.hpp"
+#include "trees/generators.hpp"
+
+namespace subdp::bench {
+
+/// Instance families used across experiments. "zigzag" / "skewed" /
+/// "complete" are adversarially planted optimal-tree shapes (Sec. 6).
+inline const std::vector<std::string>& instance_families() {
+  static const std::vector<std::string> kFamilies = {
+      "matrix-chain", "optimal-bst", "triangulation",
+      "zigzag",       "skewed",      "complete"};
+  return kFamilies;
+}
+
+/// Builds an instance of `family` with `n` objects.
+inline std::unique_ptr<dp::Problem> make_instance(const std::string& family,
+                                                  std::size_t n,
+                                                  support::Rng& rng) {
+  if (family == "matrix-chain") {
+    return std::make_unique<dp::MatrixChainProblem>(
+        dp::MatrixChainProblem::random(n, rng));
+  }
+  if (family == "optimal-bst") {
+    return std::make_unique<dp::OptimalBstProblem>(
+        dp::OptimalBstProblem::random(n > 1 ? n - 1 : 1, rng));
+  }
+  if (family == "triangulation") {
+    return std::make_unique<dp::PolygonTriangulationProblem>(
+        dp::PolygonTriangulationProblem::random(n, rng));
+  }
+  const auto planted_shape = [&]() {
+    if (family == "zigzag") return trees::TreeShape::kZigzag;
+    if (family == "skewed") return trees::TreeShape::kLeftSkewed;
+    if (family == "complete") return trees::TreeShape::kComplete;
+    throw std::invalid_argument("unknown instance family: " + family);
+  }();
+  auto inst = dp::make_tree_shaped_instance(
+      trees::make_tree(planted_shape, n, &rng), rng);
+  return std::make_unique<dp::TabulatedProblem>(std::move(inst.problem));
+}
+
+/// Prints a one-line power-law fit summary: y ~ C * x^alpha.
+inline void print_power_fit(std::ostream& os, const std::string& label,
+                            const std::vector<double>& xs,
+                            const std::vector<double>& ys,
+                            double predicted_exponent) {
+  if (xs.size() < 2) return;
+  const auto fit = support::fit_power_law(xs, ys);
+  os << "  " << label << ": measured exponent " << fit.slope
+     << " (paper predicts ~" << predicted_exponent
+     << "), R^2 = " << fit.r_squared << "\n";
+}
+
+/// Prints a one-line semi-log fit summary: y ~ a + b*log2(x).
+inline void print_log_fit(std::ostream& os, const std::string& label,
+                          const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() < 2) return;
+  const auto fit = support::fit_logarithmic(xs, ys);
+  os << "  " << label << ": y ~ " << fit.intercept << " + " << fit.slope
+     << " * log2(n), R^2 = " << fit.r_squared << "\n";
+}
+
+/// Standard CSV handling: every bench accepts --csv=<path>.
+inline void maybe_write_csv(const support::TableWriter& table,
+                            const std::string& path) {
+  if (path.empty()) return;
+  if (table.write_csv(path)) {
+    std::printf("(csv written to %s)\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write csv to %s\n", path.c_str());
+  }
+}
+
+}  // namespace subdp::bench

@@ -1,0 +1,56 @@
+// Minimum-perimeter triangulation of a random convex polygon: solves the
+// instance with the sublinear algorithm and lists the chosen diagonals.
+//
+//   $ ./polygon_triangulation --vertices=16 --seed=7
+
+#include <cstdio>
+#include <vector>
+
+#include "core/api.hpp"
+#include "dp/polygon_triangulation.hpp"
+#include "dp/sequential.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  subdp::support::ArgParser args(
+      "Minimum-perimeter triangulation of a convex polygon");
+  args.add_int("vertices", 16, "number of polygon vertices (>= 3)");
+  args.add_int("seed", 7, "random seed for the polygon shape");
+  if (!args.parse(argc, argv)) return 2;
+
+  const auto vertices = static_cast<std::size_t>(args.get_int("vertices"));
+  if (vertices < 3) {
+    std::fprintf(stderr, "need at least 3 vertices\n");
+    return 2;
+  }
+  subdp::support::Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
+  const auto problem =
+      subdp::dp::PolygonTriangulationProblem::random_convex(vertices - 1,
+                                                            rng);
+
+  const auto solution = subdp::core::solve(problem);
+  std::printf("polygon with %zu vertices: optimal triangulation cost %lld "
+              "(sum of triangle perimeters x1000)\n",
+              vertices, static_cast<long long>(solution.cost));
+
+  // Every internal tree node (i,j) with j > i+1 contributes triangle
+  // (v_i, v_k, v_j); edges (i,j) with j - i >= 2 are diagonals.
+  std::printf("diagonals drawn:\n");
+  const auto& tree = solution.tree;
+  std::size_t diagonals = 0;
+  for (subdp::trees::NodeId x = 0;
+       static_cast<std::size_t>(x) < tree.node_count(); ++x) {
+    if (tree.is_leaf(x)) continue;
+    const std::size_t i = tree.lo(x);
+    const std::size_t j = tree.hi(x);
+    if (j - i >= 2 && !(i == 0 && j == problem.size())) {
+      std::printf("  v%zu -- v%zu\n", i, j);
+      ++diagonals;
+    }
+  }
+  std::printf("%zu diagonals, %zu triangles\n", diagonals, vertices - 2);
+
+  const auto check = subdp::dp::solve_sequential(problem);
+  return solution.cost == check.cost ? 0 : 1;
+}

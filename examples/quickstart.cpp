@@ -1,0 +1,54 @@
+// Quickstart: solve a matrix-chain instance with the paper's sublinear
+// algorithm and inspect the solution.
+//
+//   $ ./quickstart
+//
+// demonstrates the three lines a typical user needs:
+//   MatrixChainProblem problem({30, 35, 15, 5, 10, 20, 25});
+//   auto solution = subdp::core::solve(problem);
+//   // solution.cost, solution.tree, solution.iterations, ...
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "core/api.hpp"
+#include "dp/matrix_chain.hpp"
+
+namespace {
+
+// Renders the decomposition tree as a parenthesization of A1..An.
+std::string parenthesization(const subdp::trees::FullBinaryTree& tree,
+                             subdp::trees::NodeId x) {
+  if (tree.is_leaf(x)) {
+    return "A" + std::to_string(tree.lo(x) + 1);
+  }
+  return "(" + parenthesization(tree, tree.left(x)) +
+         parenthesization(tree, tree.right(x)) + ")";
+}
+
+}  // namespace
+
+int main() {
+  // The CLRS Section 15.2 chain: dimensions 30x35, 35x15, 15x5, 5x10,
+  // 10x20, 20x25.
+  const subdp::dp::MatrixChainProblem problem(
+      {30, 35, 15, 5, 10, 20, 25});
+
+  const subdp::core::Solution solution = subdp::core::solve(problem);
+
+  std::printf("subdp quickstart: optimal matrix-chain multiplication\n");
+  std::printf("  chain           : 6 matrices, dims 30x35 ... 20x25\n");
+  std::printf("  optimal cost    : %lld scalar multiplications\n",
+              static_cast<long long>(solution.cost));
+  std::printf("  parenthesization: %s\n",
+              parenthesization(solution.tree, solution.tree.root()).c_str());
+  std::printf("  iterations      : %zu (worst-case schedule %zu = 2*ceil(sqrt n))\n",
+              solution.iterations, solution.iteration_bound);
+  std::printf("  PRAM work       : %llu elementary operations\n",
+              static_cast<unsigned long long>(solution.pram_work));
+  std::printf("  PRAM depth      : %llu parallel time units\n",
+              static_cast<unsigned long long>(solution.pram_depth));
+
+  return solution.cost == 15125 ? 0 : 1;  // the textbook answer
+}

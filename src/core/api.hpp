@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file api.hpp
+/// Top-level convenience API: solve an instance of recurrence (*) with the
+/// paper's algorithm and get back the cost, the optimal tree and the
+/// iteration/work statistics. This is what the examples use; power users
+/// construct `SublinearSolver` directly for stepping, tracing or CREW
+/// checking.
+
+#include "core/solver_types.hpp"
+#include "core/sublinear_solver.hpp"
+#include "dp/problem.hpp"
+#include "dp/tables.hpp"
+#include "trees/full_binary_tree.hpp"
+
+namespace subdp::core {
+
+/// A fully assembled answer for one instance.
+struct Solution {
+  Cost cost = kInfinity;               ///< `c(0, n)`.
+  trees::FullBinaryTree tree;          ///< An optimal decomposition tree.
+  std::size_t iterations = 0;          ///< Iterations the solver ran.
+  std::size_t iteration_bound = 0;     ///< The `2*ceil(sqrt n)` schedule.
+  bool reached_fixed_point = false;
+  std::uint64_t pram_work = 0;         ///< Total PRAM operations.
+  std::uint64_t pram_depth = 0;        ///< Total PRAM parallel time.
+};
+
+/// Solves `problem` with the paper's algorithm (banded layout, fixed-point
+/// termination by default) and extracts an optimal tree.
+[[nodiscard]] Solution solve(const dp::Problem& problem,
+                             const SublinearOptions& options = {});
+
+/// Solves with Rytter-style full squaring (the baseline of [8]); dense
+/// layout, O(log n) iterations, O(n^6) work per square. Small n only.
+[[nodiscard]] SublinearResult solve_rytter(
+    const dp::Problem& problem,
+    pram::Backend backend = pram::default_backend());
+
+}  // namespace subdp::core

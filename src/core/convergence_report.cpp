@@ -1,0 +1,42 @@
+#include "core/convergence_report.hpp"
+
+#include <sstream>
+
+namespace subdp::core {
+
+support::TableWriter convergence_table(const SublinearResult& result,
+                                       const std::string& title) {
+  support::TableWriter table(
+      title, {"iteration", "pw cells improved", "w cells improved",
+              "pairs finite", "quiet"});
+  for (const auto& t : result.trace) {
+    const bool quiet = t.pw_cells_changed == 0 && t.w_cells_changed == 0;
+    table.add_row({static_cast<std::int64_t>(t.iteration),
+                   static_cast<std::int64_t>(t.pw_cells_changed),
+                   static_cast<std::int64_t>(t.w_cells_changed),
+                   static_cast<std::int64_t>(t.w_finite),
+                   std::string(quiet ? "yes" : "")});
+  }
+  return table;
+}
+
+std::string summarize_convergence(const SublinearResult& result) {
+  std::size_t last_w_change = 0;
+  for (const auto& t : result.trace) {
+    if (t.w_cells_changed > 0) last_w_change = t.iteration;
+  }
+  std::ostringstream os;
+  os << "ran " << result.iterations << " of " << result.iteration_bound
+     << " scheduled iterations ("
+     << (result.iteration_bound != 0
+             ? 100.0 * static_cast<double>(result.iterations) /
+                   static_cast<double>(result.iteration_bound)
+             : 0.0)
+     << "% of the 2*ceil(sqrt n) bound); ";
+  os << (result.reached_fixed_point ? "reached a fixed point"
+                                    : "stopped by schedule/heuristic");
+  os << "; w' last improved at iteration " << last_w_change << ".";
+  return os.str();
+}
+
+}  // namespace subdp::core

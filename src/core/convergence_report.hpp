@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file convergence_report.hpp
+/// Human-readable rendering of a solve's per-iteration trace — the
+/// "simulation printout" view behind the paper's Secs. 6-7 observations
+/// (how fast w' cells settle, when the fixed point is reached, how much
+/// of the 2*ceil(sqrt n) schedule was actually needed).
+
+#include <string>
+
+#include "core/solver_types.hpp"
+#include "support/table_writer.hpp"
+
+namespace subdp::core {
+
+/// Tabulates the iteration trace: per iteration, the number of pw'/w'
+/// cells improved and how many pairs have a finite w' so far.
+[[nodiscard]] support::TableWriter convergence_table(
+    const SublinearResult& result, const std::string& title);
+
+/// One-paragraph summary: iterations used vs schedule, fixed-point
+/// status, and the iteration at which the root value last improved.
+[[nodiscard]] std::string summarize_convergence(
+    const SublinearResult& result);
+
+}  // namespace subdp::core

@@ -1,0 +1,312 @@
+#pragma once
+
+/// \file engine.hpp
+/// The iteration engine behind `SublinearSolver` (implementation detail).
+///
+/// Template on the partial-weight table type so dense (Sec. 2) and banded
+/// (Sec. 5) variants share one implementation of the three macro-steps:
+///
+///   a-activate (eq. 1a/1b):
+///     pw'(i,j,i,k) <- min(pw'(i,j,i,k), f(i,k,j) + w'(k,j))
+///     pw'(i,j,k,j) <- min(pw'(i,j,k,j), f(i,k,j) + w'(i,k))
+///   a-square (eq. 2c, HLV mode):
+///     pw'(i,j,p,q) <- min over r in [max(i, p-B), p):
+///                        pw'(i,j,r,q) + pw'(r,q,p,q)
+///                     and over s in (q, min(j, q+B)]:
+///                        pw'(i,j,p,s) + pw'(p,s,p,q)
+///     (Rytter mode: min over all intermediate gaps (r,s) ⊇ (p,q))
+///   a-pebble (eq. 3):
+///     w'(i,j) <- min over stored gaps (p,q): pw'(i,j,p,q) + w'(p,q)
+///
+/// Synchronous PRAM semantics: a-square and a-pebble double-buffer the
+/// array they both read and write, so every read observes the previous
+/// step's state regardless of execution backend; a-activate writes cells
+/// nobody reads within the step and can update in place. Each cell is
+/// written by exactly one logical processor per step (owner-computes), so
+/// the execution is CREW — which the `CrewChecker` verifies when enabled.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/quad.hpp"
+#include "core/solver_types.hpp"
+#include "dp/problem.hpp"
+#include "pram/machine.hpp"
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace subdp::core::detail {
+
+/// Distinguishes pw-table addresses from w-table addresses in CREW checks.
+inline constexpr std::uint64_t kWAddressTag = std::uint64_t{1} << 62;
+
+/// Abstract stepping interface so the public solver can hold either
+/// table variant behind one pointer.
+class IEngine {
+ public:
+  virtual ~IEngine() = default;
+  virtual IterationOutcome iterate() = 0;
+  [[nodiscard]] virtual std::size_t iterations_done() const = 0;
+  [[nodiscard]] virtual Cost w_value(std::size_t i, std::size_t j) const = 0;
+  [[nodiscard]] virtual Cost pw_value(std::size_t i, std::size_t j,
+                                      std::size_t p, std::size_t q) const = 0;
+  [[nodiscard]] virtual const support::Grid2D<Cost>& w_table() const = 0;
+  [[nodiscard]] virtual std::uint64_t w_finite_count() const = 0;
+  [[nodiscard]] virtual std::size_t pw_cell_count() const = 0;
+};
+
+/// One pair `(i,j)` of the pebble/activate sweeps.
+struct Pair {
+  std::uint16_t i = 0;
+  std::uint16_t j = 0;
+};
+
+template <class Table>
+class Engine final : public IEngine {
+ public:
+  Engine(const dp::Problem& problem, const SublinearOptions& options,
+         std::size_t band, pram::Machine& machine)
+      : problem_(problem),
+        options_(options),
+        machine_(machine),
+        n_(problem.size()),
+        pw_(n_, band),
+        pw_next_(n_, band),
+        w_(n_ + 1, n_ + 1, kInfinity),
+        w_next_(n_ + 1, n_ + 1, kInfinity) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      w_(i, i + 1) = problem.init(i);
+    }
+    w_next_ = w_;
+    build_pair_lists();
+  }
+
+  IterationOutcome iterate() override {
+    ++iteration_;
+    IterationOutcome out;
+    out.activate_changed = run_activate();
+    out.square_changed = run_square();
+    out.pebble_changed = run_pebble();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t iterations_done() const override {
+    return iteration_;
+  }
+
+  [[nodiscard]] Cost w_value(std::size_t i, std::size_t j) const override {
+    SUBDP_REQUIRE(i < j && j <= n_, "w index out of range");
+    return w_(i, j);
+  }
+
+  [[nodiscard]] Cost pw_value(std::size_t i, std::size_t j, std::size_t p,
+                              std::size_t q) const override {
+    SUBDP_REQUIRE(i <= p && p < q && q <= j && j <= n_,
+                  "pw index out of range");
+    return pw_.get(i, j, p, q);
+  }
+
+  [[nodiscard]] const support::Grid2D<Cost>& w_table() const override {
+    return w_;
+  }
+
+  [[nodiscard]] std::uint64_t w_finite_count() const override {
+    std::uint64_t count = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i + 1; j <= n_; ++j) {
+        if (is_finite(w_(i, j))) ++count;
+      }
+    }
+    return count;
+  }
+
+  [[nodiscard]] std::size_t pw_cell_count() const override {
+    return pw_.cell_count();
+  }
+
+ private:
+  void build_pair_lists() {
+    // Pairs with length >= 2, grouped by length ascending, plus the
+    // prefix offsets needed to address a window of lengths.
+    pairs_offset_by_length_.assign(n_ + 2, 0);
+    for (std::size_t len = 2; len <= n_; ++len) {
+      pairs_offset_by_length_[len] = pairs_.size();
+      for (std::size_t i = 0; i + len <= n_; ++i) {
+        pairs_.push_back(Pair{static_cast<std::uint16_t>(i),
+                              static_cast<std::uint16_t>(i + len)});
+      }
+    }
+    pairs_offset_by_length_[n_ + 1] = pairs_.size();
+    // Lengths below 2 alias the first real group.
+    pairs_offset_by_length_[0] = 0;
+    pairs_offset_by_length_[1] = 0;
+  }
+
+  /// Sec. 5 window for iteration `t` (1-based): `l = ceil(t/2)`, lengths
+  /// `(l-1)^2 < L <= l^2`. Returns the pair-index range to pebble.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> pebble_window() const {
+    if (!options_.windowed_pebble) return {0, pairs_.size()};
+    const std::size_t l = (iteration_ + 1) / 2;
+    std::size_t lo_len = (l - 1) * (l - 1) + 1;
+    std::size_t hi_len = l * l;
+    if (lo_len < 2) lo_len = 2;
+    if (hi_len > n_) hi_len = n_;
+    if (lo_len > n_ || hi_len < 2 || lo_len > hi_len) {
+      return {0, 0};  // nothing to pebble this iteration
+    }
+    return {pairs_offset_by_length_[lo_len],
+            pairs_offset_by_length_[hi_len + 1]};
+  }
+
+  std::uint64_t run_activate() {
+    std::atomic<std::uint64_t> changed{0};
+    machine_.step(
+        "a-activate", static_cast<std::int64_t>(pairs_.size()),
+        [&](std::int64_t idx) -> std::uint64_t {
+          const Pair pr = pairs_[static_cast<std::size_t>(idx)];
+          const std::size_t i = pr.i;
+          const std::size_t j = pr.j;
+          std::uint64_t ops = 0;
+          std::uint64_t local_changed = 0;
+          // Both tables store every child gap (eq. 1a/1b write targets):
+          // the banded layout keeps out-of-band child gaps in a dedicated
+          // side store because the terminal pebble of a balanced node
+          // needs them (see pw_banded.hpp).
+          for (std::size_t k = i + 1; k <= j - 1; ++k) {
+            ops += 2;
+            const Cost fv = problem_.f(i, k, j);
+            const Cost w_right = w_(k, j);
+            if (is_finite(w_right)) {
+              const Cost cand = sat_add(fv, w_right);
+              if (cand < pw_.get(i, j, i, k)) {
+                pw_.set(i, j, i, k, cand);
+                machine_.note_write(pw_.address(i, j, i, k));
+                ++local_changed;
+              }
+            }
+            const Cost w_left = w_(i, k);
+            if (is_finite(w_left)) {
+              const Cost cand = sat_add(fv, w_left);
+              if (cand < pw_.get(i, j, k, j)) {
+                pw_.set(i, j, k, j, cand);
+                machine_.note_write(pw_.address(i, j, k, j));
+                ++local_changed;
+              }
+            }
+          }
+          if (local_changed > 0) {
+            changed.fetch_add(local_changed, std::memory_order_relaxed);
+          }
+          return ops;
+        });
+    return changed.load();
+  }
+
+  std::uint64_t run_square() {
+    std::atomic<std::uint64_t> changed{0};
+    pw_next_.copy_from(pw_);
+    const auto& quads = pw_.entries();
+    const bool full_square = options_.square_mode == SquareMode::kRytterFull;
+    const std::size_t maxs = pw_.max_slack();
+    machine_.step(
+        "a-square", static_cast<std::int64_t>(quads.size()),
+        [&](std::int64_t idx) -> std::uint64_t {
+          const Quad t = quads[static_cast<std::size_t>(idx)];
+          const std::size_t i = t.i, j = t.j, p = t.p, q = t.q;
+          const Cost old_value = pw_.get(i, j, p, q);
+          Cost best = old_value;
+          std::uint64_t ops = 0;
+          if (full_square) {
+            // Rytter: all intermediate gaps (r,s) with (p,q) ⊆ (r,s) ⊆
+            // (i,j), excluding the two identities.
+            for (std::size_t r = i; r <= p; ++r) {
+              for (std::size_t s = q; s <= j; ++s) {
+                if (r == i && s == j) continue;
+                if (r == p && s == q) continue;
+                ++ops;
+                const Cost a = pw_.get(i, j, r, s);
+                if (!is_finite(a)) continue;
+                const Cost b = pw_.get(r, s, p, q);
+                best = sat_min(best, sat_add(a, b));
+              }
+            }
+          } else {
+            // HLV eq. (2c): intermediate shares the gap's row or column.
+            // Out-of-band operands are infinite, so r (resp. s) may be
+            // restricted to the B-window without changing the result.
+            const std::size_t r_lo = p > maxs && p - maxs > i ? p - maxs : i;
+            for (std::size_t r = r_lo; r < p; ++r) {
+              ++ops;
+              const Cost a = pw_.get(i, j, r, q);
+              if (!is_finite(a)) continue;
+              const Cost b = pw_.get(r, q, p, q);
+              best = sat_min(best, sat_add(a, b));
+            }
+            const std::size_t s_hi = q + maxs < j ? q + maxs : j;
+            for (std::size_t s = q + 1; s <= s_hi; ++s) {
+              ++ops;
+              const Cost a = pw_.get(i, j, p, s);
+              if (!is_finite(a)) continue;
+              const Cost b = pw_.get(p, s, p, q);
+              best = sat_min(best, sat_add(a, b));
+            }
+          }
+          if (best < old_value) {
+            pw_next_.set(i, j, p, q, best);
+            machine_.note_write(pw_.address(i, j, p, q));
+            changed.fetch_add(1, std::memory_order_relaxed);
+          }
+          return ops;
+        });
+    std::swap(pw_, pw_next_);
+    return changed.load();
+  }
+
+  std::uint64_t run_pebble() {
+    std::atomic<std::uint64_t> changed{0};
+    const auto [w_begin, w_end] = pebble_window();
+    if (w_begin == w_end) return 0;
+    w_next_ = w_;
+    machine_.step(
+        "a-pebble", static_cast<std::int64_t>(w_end - w_begin),
+        [&, w_begin = w_begin](std::int64_t idx) -> std::uint64_t {
+          const Pair pr = pairs_[w_begin + static_cast<std::size_t>(idx)];
+          const std::size_t i = pr.i;
+          const std::size_t j = pr.j;
+          const Cost old_value = w_(i, j);
+          Cost best = old_value;
+          std::uint64_t ops = 0;
+          pw_.for_each_gap(i, j, [&](std::size_t p, std::size_t q) {
+            ++ops;
+            const Cost a = pw_.get(i, j, p, q);
+            if (!is_finite(a)) return;
+            best = sat_min(best, sat_add(a, w_(p, q)));
+          });
+          if (best < old_value) {
+            w_next_(i, j) = best;
+            machine_.note_write(kWAddressTag |
+                                (static_cast<std::uint64_t>(i) * (n_ + 1) +
+                                 j));
+            changed.fetch_add(1, std::memory_order_relaxed);
+          }
+          return ops;
+        });
+    std::swap(w_, w_next_);
+    return changed.load();
+  }
+
+  const dp::Problem& problem_;
+  SublinearOptions options_;
+  pram::Machine& machine_;
+  std::size_t n_;
+  Table pw_;
+  Table pw_next_;
+  support::Grid2D<Cost> w_;
+  support::Grid2D<Cost> w_next_;
+  std::vector<Pair> pairs_;
+  std::vector<std::size_t> pairs_offset_by_length_;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace subdp::core::detail

@@ -1,0 +1,65 @@
+#include "core/pw_banded.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::core {
+
+BandedPwTable::BandedPwTable(std::size_t n, std::size_t band)
+    : n_(n), band_(band) {
+  SUBDP_REQUIRE(n >= 1, "need at least one object");
+  SUBDP_REQUIRE(band >= 1, "band width must be at least 1");
+
+  length_base_.assign(n + 2, 0);
+  std::size_t total = 0;
+  for (std::size_t len = 2; len <= n; ++len) {
+    length_base_[len] = total;
+    total += (n - len + 1) * block_size(len);
+  }
+  length_base_[n + 1] = total;
+  cells_.assign(total, kInfinity);
+
+  // Child-gap side tables: flat (n+1)^3 addressing (simple O(1) access;
+  // only used for slacks above the band).
+  const std::size_t cube = (n + 1) * (n + 1) * (n + 1);
+  left_child_cells_.assign(cube, kInfinity);
+  right_child_cells_.assign(cube, kInfinity);
+  for (std::size_t len = 2; len <= n; ++len) {
+    if (len - 1 > band_) {
+      // Out-of-band slacks s in (B, len-1]: two child gaps per slack.
+      out_of_band_child_count_ += (n - len + 1) * 2 * (len - 1 - band_);
+    }
+  }
+
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      const std::size_t j = i + len;
+      const std::size_t max_s = len - 1 < band_ ? len - 1 : band_;
+      for (std::size_t s = 1; s <= max_s; ++s) {
+        const std::size_t gap_len = len - s;
+        for (std::size_t o = 0; o <= s; ++o) {
+          entries_.push_back(Quad{static_cast<std::uint16_t>(i),
+                                  static_cast<std::uint16_t>(j),
+                                  static_cast<std::uint16_t>(i + o),
+                                  static_cast<std::uint16_t>(i + o +
+                                                             gap_len)});
+        }
+      }
+    }
+  }
+  SUBDP_ASSERT(entries_.size() == cells_.size());
+}
+
+void BandedPwTable::reset() {
+  cells_.assign(cells_.size(), kInfinity);
+  left_child_cells_.assign(left_child_cells_.size(), kInfinity);
+  right_child_cells_.assign(right_child_cells_.size(), kInfinity);
+}
+
+void BandedPwTable::copy_from(const BandedPwTable& other) {
+  SUBDP_ASSERT(n_ == other.n_ && band_ == other.band_);
+  cells_ = other.cells_;
+  left_child_cells_ = other.left_child_cells_;
+  right_child_cells_ = other.right_child_cells_;
+}
+
+}  // namespace subdp::core

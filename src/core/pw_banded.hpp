@@ -1,0 +1,183 @@
+#pragma once
+
+/// \file pw_banded.hpp
+/// Slack-banded partial-weight table (the Sec. 5 processor reduction).
+///
+/// Section 5 observes that the square step only ever needs partial weights
+/// whose *slack* `s = (j-i) - (q-p)` — the number of leaves of the root
+/// interval missing from the gap interval — is at most `B = 2*ceil(sqrt n)`:
+/// the Fig. 1 chain decomposition peels at most `2*sqrt(n)` leaves off a
+/// subtree before reaching a node `y` whose children are both small.
+/// Storing only those entries shrinks the square step's input from O(n^4)
+/// to O(n^2 B^2) cells, and the admissible split positions `r`/`s` per
+/// entry to an O(B) window.
+///
+/// One subtlety the paper glosses: the terminal node `y` of the chain has
+/// *both* children of size up to `i^2`, so pebbling `y` uses the
+/// activate-form entries `pw(y, child)` whose slack is the sibling's
+/// size — potentially far above `B`. The paper's own pebble-step bound
+/// (O(n^{1.5}) pairs x O(n^2) gap candidates) implicitly keeps those
+/// entries available; we store them in a dedicated child-gap side table
+/// (O(n^3) cells, written by a-activate, read by a-pebble and as square
+/// operands) — without it, instances whose optimal trees contain balanced
+/// splits wider than `B` converge to a wrong fixed point, which
+/// `test_core_sublinear.cpp` demonstrates via the band-sensitivity tests.
+///
+/// Layout of the banded part: for root length `L` and left end `i`, the
+/// block holds slacks `s = 1 .. min(B, L-1)` contiguously, each with its
+/// `s + 1` gap offsets `o = p - i ∈ [0, s]`; all offsets have closed
+/// forms, so addressing is O(1).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quad.hpp"
+#include "support/cost.hpp"
+
+namespace subdp::core {
+
+/// Banded `pw'` storage; in-band entries plus child-gap entries of any
+/// slack. Reads of anything else yield `kInfinity`.
+class BandedPwTable {
+ public:
+  /// `band` = maximal stored slack `B >= 1` for general gaps.
+  BandedPwTable(std::size_t n, std::size_t band);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+
+  /// The slack bound `B` (square-step candidates stay within it).
+  [[nodiscard]] std::size_t max_slack() const noexcept { return band_; }
+
+  /// Reads `pw'(i,j,p,q)`: 0 for identity gaps; the banded cell when the
+  /// slack is within the band; the child-gap cell when the gap shares an
+  /// endpoint with the root (`p == i` or `q == j`); `kInfinity` otherwise.
+  [[nodiscard]] Cost get(std::size_t i, std::size_t j, std::size_t p,
+                         std::size_t q) const {
+    SUBDP_ASSERT(i <= p && p < q && q <= j && j <= n_);
+    if (p == i && q == j) return 0;
+    const std::size_t s = (j - i) - (q - p);
+    if (s <= band_) return cells_[flat(i, j, p, s)];
+    if (p == i) return left_child_cells_[child_flat(i, j, q)];
+    if (q == j) return right_child_cells_[child_flat(i, j, p)];
+    return kInfinity;
+  }
+
+  /// Writes a stored entry; `stores(i,j,p,q)` must hold.
+  void set(std::size_t i, std::size_t j, std::size_t p, std::size_t q,
+           Cost value) {
+    SUBDP_ASSERT(stores(i, j, p, q));
+    const std::size_t s = (j - i) - (q - p);
+    if (s <= band_) {
+      cells_[flat(i, j, p, s)] = value;
+    } else if (p == i) {
+      left_child_cells_[child_flat(i, j, q)] = value;
+    } else {
+      right_child_cells_[child_flat(i, j, p)] = value;
+    }
+  }
+
+  /// True iff the entry is materialised: in band, or a child gap.
+  [[nodiscard]] bool stores(std::size_t i, std::size_t j, std::size_t p,
+                            std::size_t q) const {
+    if (!(i <= p && p < q && q <= j)) return false;
+    if (p == i && q == j) return false;
+    if ((j - i) - (q - p) <= band_) return true;
+    return p == i || q == j;
+  }
+
+  /// Linearised address for CREW-conformance reporting.
+  [[nodiscard]] std::uint64_t address(std::size_t i, std::size_t j,
+                                      std::size_t p, std::size_t q) const {
+    const std::size_t s = (j - i) - (q - p);
+    if (s <= band_) return static_cast<std::uint64_t>(flat(i, j, p, s));
+    if (p == i) {
+      return kLeftChildTag | static_cast<std::uint64_t>(child_flat(i, j, q));
+    }
+    return kRightChildTag | static_cast<std::uint64_t>(child_flat(i, j, p));
+  }
+
+  /// Allocated cells across all stores (E7 memory metric).
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size() + left_child_cells_.size() +
+           right_child_cells_.size();
+  }
+
+  /// Meaningful stored entries: banded cells plus out-of-band child gaps.
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entries_.size() + out_of_band_child_count_;
+  }
+
+  /// Square-step targets (in-band quadruples), grouped by root length
+  /// ascending. Child-gap entries are not square targets: their activate
+  /// value `f + w(child)` is exact once the children have converged, and
+  /// keeping them out preserves the O(n^3 * B) square work bound.
+  [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Enumerates the stored gaps `(p,q)` of root `(i,j)` (pebble step):
+  /// all in-band gaps, plus the out-of-band child gaps.
+  template <class Fn>
+  void for_each_gap(std::size_t i, std::size_t j, Fn&& fn) const {
+    const std::size_t len = j - i;
+    const std::size_t max_s = len - 1 < band_ ? len - 1 : band_;
+    for (std::size_t s = 1; s <= max_s; ++s) {
+      const std::size_t gap_len = len - s;
+      for (std::size_t o = 0; o <= s; ++o) {
+        fn(i + o, i + o + gap_len);
+      }
+    }
+    for (std::size_t s = band_ + 1; s <= len - 1; ++s) {
+      fn(i, j - s);      // left child gap (i, k) with slack s = j - k
+      fn(i + s, j);      // right child gap (k, j) with slack s = k - i
+    }
+  }
+
+  /// Resets every stored entry to `kInfinity`.
+  void reset();
+
+  /// Bulk copy from a same-shape table (square-step double buffering).
+  void copy_from(const BandedPwTable& other);
+
+ private:
+  static constexpr std::uint64_t kLeftChildTag = std::uint64_t{1} << 60;
+  static constexpr std::uint64_t kRightChildTag = std::uint64_t{1} << 61;
+
+  /// Cells for one `(L, i)` block: sum over s of (s+1) slots.
+  [[nodiscard]] std::size_t block_size(std::size_t len) const {
+    const std::size_t m = len - 1 < band_ ? len - 1 : band_;
+    return m * (m + 3) / 2;
+  }
+
+  [[nodiscard]] std::size_t flat(std::size_t i, std::size_t j, std::size_t p,
+                                 std::size_t s) const {
+    const std::size_t len = j - i;
+    SUBDP_ASSERT(len >= 2 && s >= 1 && s <= band_ && s <= len - 1);
+    SUBDP_ASSERT(p >= i && p - i <= s);
+    // Offset of slack s inside a block: sum_{s'=1..s-1} (s'+1).
+    const std::size_t slack_offset = (s - 1) * (s + 2) / 2;
+    return length_base_[len] + (i * block_size(len)) + slack_offset +
+           (p - i);
+  }
+
+  /// Child-gap cell for root `(i,j)` and inner gap boundary `k`; gap
+  /// `(i,k)` lives in `left_child_cells_`, gap `(k,j)` in
+  /// `right_child_cells_` (for long roots both can be out of band at the
+  /// same `k`, so the families must not share storage).
+  [[nodiscard]] std::size_t child_flat(std::size_t i, std::size_t j,
+                                       std::size_t k) const {
+    SUBDP_ASSERT(i < k && k < j);
+    return (i * (n_ + 1) + j) * (n_ + 1) + k;
+  }
+
+  std::size_t n_;
+  std::size_t band_;
+  std::size_t out_of_band_child_count_ = 0;
+  std::vector<std::size_t> length_base_;  ///< Cumulative block offsets.
+  std::vector<Cost> cells_;
+  std::vector<Cost> left_child_cells_;
+  std::vector<Cost> right_child_cells_;
+  std::vector<Quad> entries_;
+};
+
+}  // namespace subdp::core

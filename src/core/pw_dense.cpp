@@ -1,0 +1,42 @@
+#include "core/pw_dense.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::core {
+
+DensePwTable::DensePwTable(std::size_t n, std::size_t /*band*/) : n_(n) {
+  SUBDP_REQUIRE(n >= 1, "need at least one object");
+  SUBDP_REQUIRE(n <= kMaxDenseN,
+                "dense pw table would exceed the memory envelope; "
+                "use the banded variant");
+  cells_.assign((n + 1) * (n + 1) * (n + 1) * (n + 1), kInfinity);
+
+  // Group by root length ascending so windowed sweeps see short roots
+  // first; within a root, gaps in (p,q) lexicographic order.
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      const std::size_t j = i + len;
+      for (std::size_t p = i; p < j; ++p) {
+        for (std::size_t q = p + 1; q <= j; ++q) {
+          if (p == i && q == j) continue;
+          entries_.push_back(Quad{static_cast<std::uint16_t>(i),
+                                  static_cast<std::uint16_t>(j),
+                                  static_cast<std::uint16_t>(p),
+                                  static_cast<std::uint16_t>(q)});
+        }
+      }
+    }
+  }
+  entry_count_ = entries_.size();
+}
+
+void DensePwTable::reset() {
+  cells_.assign(cells_.size(), kInfinity);
+}
+
+void DensePwTable::copy_from(const DensePwTable& other) {
+  SUBDP_ASSERT(n_ == other.n_);
+  cells_ = other.cells_;
+}
+
+}  // namespace subdp::core

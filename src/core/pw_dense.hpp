@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file pw_dense.hpp
+/// Dense O(n^4) partial-weight table (the Sec. 2 algorithm's `pw'`).
+///
+/// Stores every structural quadruple `(i,j,p,q)` with `i <= p < q <= j`
+/// and `(p,q) != (i,j)` in a flat `(n+1)^4` cube (simple O(1) addressing
+/// at the cost of unused cells). The identity entries `pw(i,j,i,j) = 0`
+/// are definitional and answered without storage; structurally invalid or
+/// unstored reads return `kInfinity`, matching the algorithm's
+/// initialisation.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quad.hpp"
+#include "support/cost.hpp"
+
+namespace subdp::core {
+
+/// Dense `pw'` storage for instances of up to `kMaxDenseN` objects.
+class DensePwTable {
+ public:
+  /// Largest supported n: 2 buffers x (n+1)^4 x 8 bytes must stay modest.
+  static constexpr std::size_t kMaxDenseN = 64;
+
+  /// `band` is accepted for interface parity with `BandedPwTable` and
+  /// ignored (a dense table stores every slack).
+  explicit DensePwTable(std::size_t n, std::size_t band = 0);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+
+  /// Effective slack bound: dense tables store all slacks up to n.
+  [[nodiscard]] std::size_t max_slack() const noexcept { return n_; }
+
+  /// Reads `pw'(i,j,p,q)`; identity gaps yield 0, anything unstored
+  /// (never written) yields `kInfinity`.
+  [[nodiscard]] Cost get(std::size_t i, std::size_t j, std::size_t p,
+                         std::size_t q) const {
+    SUBDP_ASSERT(i <= p && p < q && q <= j && j <= n_);
+    if (p == i && q == j) return 0;
+    return cells_[flat(i, j, p, q)];
+  }
+
+  /// Writes a stored (non-identity) entry.
+  void set(std::size_t i, std::size_t j, std::size_t p, std::size_t q,
+           Cost value) {
+    SUBDP_ASSERT(i <= p && p < q && q <= j && j <= n_);
+    SUBDP_ASSERT(!(p == i && q == j));
+    cells_[flat(i, j, p, q)] = value;
+  }
+
+  /// True iff the entry is materialised (always, for dense tables).
+  [[nodiscard]] bool stores(std::size_t i, std::size_t j, std::size_t p,
+                            std::size_t q) const {
+    return i <= p && p < q && q <= j && !(p == i && q == j);
+  }
+
+  /// Linearised address for CREW-conformance reporting.
+  [[nodiscard]] std::uint64_t address(std::size_t i, std::size_t j,
+                                      std::size_t p, std::size_t q) const {
+    return static_cast<std::uint64_t>(flat(i, j, p, q));
+  }
+
+  /// Number of allocated cells (the memory-footprint metric for E7).
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+
+  /// Number of *meaningful* (structurally valid, stored) entries.
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entry_count_;
+  }
+
+  /// All stored quadruples, grouped by root-interval length ascending
+  /// (the order the square step iterates in).
+  [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Enumerates the stored gaps `(p,q)` of root `(i,j)` (pebble step).
+  template <class Fn>
+  void for_each_gap(std::size_t i, std::size_t j, Fn&& fn) const {
+    for (std::size_t p = i; p < j; ++p) {
+      for (std::size_t q = p + 1; q <= j; ++q) {
+        if (p == i && q == j) continue;
+        fn(p, q);
+      }
+    }
+  }
+
+  /// Resets every stored entry to `kInfinity`.
+  void reset();
+
+  /// Bulk copy from a same-shape table (square-step double buffering).
+  void copy_from(const DensePwTable& other);
+
+ private:
+  [[nodiscard]] std::size_t flat(std::size_t i, std::size_t j, std::size_t p,
+                                 std::size_t q) const {
+    return ((i * (n_ + 1) + j) * (n_ + 1) + p) * (n_ + 1) + q;
+  }
+
+  std::size_t n_;
+  std::size_t entry_count_ = 0;
+  std::vector<Cost> cells_;
+  std::vector<Quad> entries_;
+};
+
+}  // namespace subdp::core

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file solver_types.hpp
+/// Options, traces and results for the sublinear solver.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "support/cost.hpp"
+#include "support/grid.hpp"
+
+namespace subdp::core {
+
+/// Which partial-weight table the solver keeps.
+enum class PwVariant {
+  kDense,   ///< Sec. 2 algorithm: O(n^4) table, O(n^5) square work.
+  kBanded,  ///< Sec. 5 reduction: slack <= B entries, O(n^3 B) square work.
+};
+
+[[nodiscard]] constexpr const char* to_string(PwVariant v) noexcept {
+  return v == PwVariant::kDense ? "dense" : "banded";
+}
+
+/// How the composition in the square step searches for decompositions.
+enum class SquareMode {
+  kHlvOneLevel,  ///< This paper's eq. (2c): compose at a node sharing the
+                 ///< gap's row `(r,q)` or column `(p,s)` — O(n) candidates.
+  kRytterFull,   ///< Rytter's full squaring over all intermediate gaps
+                 ///< `(r,s)` — O(n^2) candidates, O(log n) iterations.
+};
+
+[[nodiscard]] constexpr const char* to_string(SquareMode m) noexcept {
+  return m == SquareMode::kHlvOneLevel ? "hlv" : "rytter";
+}
+
+/// When the iteration loop stops.
+enum class TerminationMode {
+  kFixedBound,      ///< Run the full `2*ceil(sqrt n)` schedule (Sec. 2/4
+                    ///< worst-case guarantee), no early exit.
+  kFixedPoint,      ///< Stop when an iteration changes no cell (a fixed
+                    ///< point persists, so the result equals the full
+                    ///< schedule's); still capped by the bound.
+  kWUnchangedTwice, ///< The Sec. 7 heuristic: stop when `w'` was unchanged
+                    ///< in two consecutive iterations. Not proven
+                    ///< sufficient by the paper; capped by the bound.
+};
+
+[[nodiscard]] constexpr const char* to_string(TerminationMode m) noexcept {
+  switch (m) {
+    case TerminationMode::kFixedBound:
+      return "fixed-bound";
+    case TerminationMode::kFixedPoint:
+      return "fixed-point";
+    case TerminationMode::kWUnchangedTwice:
+      return "w-unchanged-twice";
+  }
+  return "unknown";
+}
+
+/// Solver configuration.
+struct SublinearOptions {
+  PwVariant variant = PwVariant::kBanded;
+  SquareMode square_mode = SquareMode::kHlvOneLevel;
+  TerminationMode termination = TerminationMode::kFixedPoint;
+  /// Maximal stored slack `B`; 0 = the paper's `2*ceil(sqrt n)`.
+  std::size_t band_width = 0;
+  /// Iteration cap; 0 = `2*ceil(sqrt n)` (or `4*ceil(log2 n) + 8` for
+  /// `SquareMode::kRytterFull`).
+  std::size_t max_iterations = 0;
+  /// Sec. 5 windowed pebble schedule: at iterations `2l-1, 2l` only pairs
+  /// with `(l-1)^2 < j-i <= l^2` are pebbled. Requires `kFixedBound`
+  /// termination (the window makes per-iteration change useless as a
+  /// stopping signal).
+  bool windowed_pebble = false;
+  /// Host execution / accounting configuration.
+  pram::MachineOptions machine;
+};
+
+/// Per-iteration progress counters (experiment E5/E8 traces).
+struct IterationTrace {
+  std::size_t iteration = 0;       ///< 1-based.
+  std::uint64_t pw_cells_changed = 0;  ///< activate + square changes.
+  std::uint64_t w_cells_changed = 0;
+  std::uint64_t w_finite = 0;      ///< Pairs whose w' is no longer inf.
+};
+
+/// Outcome of one iteration (stepping interface).
+struct IterationOutcome {
+  std::uint64_t activate_changed = 0;
+  std::uint64_t square_changed = 0;
+  std::uint64_t pebble_changed = 0;
+  [[nodiscard]] bool any_changed() const noexcept {
+    return activate_changed + square_changed + pebble_changed > 0;
+  }
+};
+
+/// Result of a solve.
+struct SublinearResult {
+  Cost cost = kInfinity;            ///< `c(0, n)`.
+  std::size_t iterations = 0;       ///< Iterations actually run.
+  std::size_t iteration_bound = 0;  ///< The `2*ceil(sqrt n)` schedule.
+  bool reached_fixed_point = false;
+  /// Final `w'` table (optimal for every pair once the schedule ran).
+  support::Grid2D<Cost> w;
+  std::vector<IterationTrace> trace;
+};
+
+}  // namespace subdp::core

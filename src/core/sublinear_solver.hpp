@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file sublinear_solver.hpp
+/// The paper's contribution: the sublinear-time CREW PRAM algorithm for
+/// recurrence (*), simulated on a multicore host.
+///
+/// One iteration applies the three parallel macro-steps
+/// `a-activate; a-square; a-pebble` (Sec. 2); after `2*ceil(sqrt n)`
+/// iterations every `w'(i,j)` equals the optimum `c(i,j)` (Sec. 4, via the
+/// pebbling-game argument of Sec. 3). Options select the dense Sec. 2
+/// layout or the banded Sec. 5 layout (O(n^3.5/log n) processors), the
+/// Sec. 5 windowed pebble schedule, Rytter-style full squaring (the
+/// baseline this paper improves on), and the Sec. 7 termination
+/// heuristics. All PRAM work/depth is accounted on an internal `Machine`.
+///
+/// Typical use:
+/// ```
+/// core::SublinearSolver solver;                 // banded defaults
+/// auto result = solver.solve(problem);          // result.cost == c(0,n)
+/// auto tree = dp::extract_tree_from_w(problem, result.w);
+/// ```
+/// The stepping interface (`prepare` / `step` / `current_*` / `finish`)
+/// exposes the iteration to tests — in particular the Sec. 4 lock-step
+/// comparison against the pebbling game on a known optimal tree.
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/solver_types.hpp"
+#include "dp/problem.hpp"
+#include "pram/machine.hpp"
+
+namespace subdp::core {
+
+/// Reusable solver configured once, usable on many instances.
+class SublinearSolver {
+ public:
+  explicit SublinearSolver(SublinearOptions options = {});
+
+  /// Solves `problem` to completion under the configured termination mode.
+  [[nodiscard]] SublinearResult solve(const dp::Problem& problem);
+
+  // -- Stepping interface (tests, traces, co-simulation) -----------------
+
+  /// Initialises state for `problem` (which must outlive the stepping).
+  void prepare(const dp::Problem& problem);
+
+  /// Runs one iteration; requires `prepare`.
+  IterationOutcome step();
+
+  /// Current `w'(i,j)` / `pw'(i,j,p,q)` values.
+  [[nodiscard]] Cost current_w(std::size_t i, std::size_t j) const;
+  [[nodiscard]] Cost current_pw(std::size_t i, std::size_t j, std::size_t p,
+                                std::size_t q) const;
+
+  /// Iterations run since `prepare`.
+  [[nodiscard]] std::size_t iterations_done() const;
+
+  /// Packages the current state into a result (cost, w table, traces).
+  [[nodiscard]] SublinearResult finish();
+
+  /// The worst-case iteration schedule for the prepared instance.
+  [[nodiscard]] std::size_t iteration_bound() const { return bound_; }
+
+  /// Effective band width for the prepared instance.
+  [[nodiscard]] std::size_t effective_band() const { return band_; }
+
+  /// Number of allocated pw cells (memory metric, experiment E7).
+  [[nodiscard]] std::size_t pw_cell_count() const;
+
+  /// The PRAM simulator carrying the work/depth ledger and (optionally)
+  /// the CREW conformance checker.
+  [[nodiscard]] const pram::Machine& machine() const { return machine_; }
+  [[nodiscard]] pram::Machine& machine() { return machine_; }
+
+  [[nodiscard]] const SublinearOptions& options() const { return options_; }
+
+ private:
+  SublinearOptions options_;
+  pram::Machine machine_;
+  std::unique_ptr<detail::IEngine> engine_;
+  std::vector<IterationTrace> trace_;
+  std::size_t bound_ = 0;
+  std::size_t band_ = 0;
+  std::size_t cap_ = 0;
+  std::size_t n_ = 0;
+  Cost trivial_cost_ = kInfinity;  ///< Used when n == 1 (no iterations).
+};
+
+}  // namespace subdp::core

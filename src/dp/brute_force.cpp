@@ -1,0 +1,53 @@
+#include "dp/brute_force.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace subdp::dp {
+
+namespace {
+
+Cost enumerate(const Problem& problem, std::size_t i, std::size_t j) {
+  if (j - i == 1) return problem.init(i);
+  Cost best = kInfinity;
+  for (std::size_t k = i + 1; k < j; ++k) {
+    const Cost cand = sat_add(enumerate(problem, i, k),
+                              enumerate(problem, k, j),
+                              problem.f(i, k, j));
+    best = sat_min(best, cand);
+  }
+  return best;
+}
+
+}  // namespace
+
+Cost brute_force_cost(const Problem& problem) {
+  SUBDP_REQUIRE(problem.size() <= 16,
+                "brute force is exponential; use a DP solver");
+  return enumerate(problem, 0, problem.size());
+}
+
+Cost parenthesization_count(std::size_t n) {
+  SUBDP_REQUIRE(n >= 1, "need at least one object");
+  // C_0 = 1, C_m = sum C_i C_{m-1-i}; trees over n leaves = C_{n-1}.
+  std::vector<Cost> c(n, 0);
+  c[0] = 1;
+  for (std::size_t m = 1; m < n; ++m) {
+    Cost total = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const Cost a = c[i];
+      const Cost b = c[m - 1 - i];
+      if (a >= kInfinity || b >= kInfinity ||
+          (b != 0 && a > kInfinity / b)) {
+        total = kInfinity;
+        break;
+      }
+      total = sat_add(total, a * b);
+    }
+    c[m] = total;
+  }
+  return c[n - 1];
+}
+
+}  // namespace subdp::dp

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file brute_force.hpp
+/// Exponential-time oracle: enumerates every parenthesization.
+///
+/// Recurses over all Catalan(n-1) decomposition trees without memoisation,
+/// so it shares no code or complexity class with the DP solvers it checks.
+/// Restricted to small `n` (the test suites use n <= 12).
+
+#include "dp/problem.hpp"
+
+namespace subdp::dp {
+
+/// Optimal cost `c(0, n)` by exhaustive enumeration. Requires
+/// `problem.size() <= 16`.
+[[nodiscard]] Cost brute_force_cost(const Problem& problem);
+
+/// Number of distinct decomposition trees over `n` objects
+/// (the Catalan number C_{n-1}); saturates at `kInfinity`.
+[[nodiscard]] Cost parenthesization_count(std::size_t n);
+
+}  // namespace subdp::dp

@@ -1,0 +1,97 @@
+#include "dp/knuth.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace subdp::dp {
+
+bool is_k_independent(const Problem& problem) {
+  const std::size_t n = problem.size();
+  for (std::size_t i = 0; i + 2 <= n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      const Cost first = problem.f(i, i + 1, j);
+      for (std::size_t k = i + 2; k < j; ++k) {
+        if (problem.f(i, k, j) != first) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool satisfies_quadrangle_inequality(const Problem& problem) {
+  SUBDP_REQUIRE(is_k_independent(problem),
+                "QI check applies to k-independent instances");
+  const std::size_t n = problem.size();
+  const auto w = [&](std::size_t i, std::size_t j) {
+    return j - i >= 2 ? problem.f(i, i + 1, j) : Cost{0};
+  };
+  // Monotonicity on the lattice of intervals.
+  for (std::size_t i = 0; i + 2 <= n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      if (w(i, j - 1) > w(i, j) || w(i + 1, j) > w(i, j)) return false;
+    }
+  }
+  // Quadrangle inequality: i <= i' <= j <= j'. Intervals of length
+  // exactly 1 are skipped: their weights are `init`-level quantities the
+  // `Problem` interface cannot expose through `f` (which needs j-i >= 2),
+  // and Yao's split-monotonicity derivation is driven by the crossing
+  // quadruples with non-degenerate intervals.
+  for (std::size_t i = 0; i <= n; ++i) {
+    for (std::size_t ip = i; ip <= n; ++ip) {
+      for (std::size_t j = ip; j <= n; ++j) {
+        if (j - ip == 1 || j - i == 1) continue;
+        for (std::size_t jp = j; jp <= n; ++jp) {
+          if (jp - ip == 1 || jp - j == 1) continue;
+          if (w(i, j) + w(ip, jp) > w(ip, j) + w(i, jp)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+DpResult solve_knuth(const Problem& problem, std::uint64_t* ops_out) {
+  const std::size_t n = problem.size();
+  DpResult result;
+  result.c = support::Grid2D<Cost>(n + 1, n + 1, kInfinity);
+  result.split = support::Grid2D<std::int32_t>(n + 1, n + 1, -1);
+
+  std::uint64_t ops = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.c(i, i + 1) = problem.init(i);
+    // Degenerate "split" of a leaf: its own upper bound, so the monotone
+    // window below starts tight.
+    result.split(i, i + 1) = static_cast<std::int32_t>(i + 1);
+  }
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      const std::size_t j = i + len;
+      // Knuth's window: split(i, j-1) <= k <= split(i+1, j).
+      const auto k_lo = static_cast<std::size_t>(
+          std::max<std::int32_t>(result.split(i, j - 1),
+                                 static_cast<std::int32_t>(i + 1)));
+      const auto k_hi = static_cast<std::size_t>(
+          std::min<std::int32_t>(result.split(i + 1, j),
+                                 static_cast<std::int32_t>(j - 1)));
+      Cost best = kInfinity;
+      std::size_t best_k = k_lo;
+      for (std::size_t k = k_lo; k <= k_hi; ++k) {
+        const Cost cand =
+            sat_add(result.c(i, k), result.c(k, j), problem.f(i, k, j));
+        ++ops;
+        if (cand < best) {
+          best = cand;
+          best_k = k;
+        }
+      }
+      result.c(i, j) = best;
+      result.split(i, j) = static_cast<std::int32_t>(best_k);
+    }
+  }
+  result.cost = result.c(0, n);
+  if (ops_out != nullptr) *ops_out = ops;
+  return result;
+}
+
+}  // namespace subdp::dp

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file knuth.hpp
+/// Knuth's O(n^2) speedup (Knuth 1971, Yao 1980) for k-independent
+/// instances of (*) satisfying the quadrangle inequality.
+///
+/// When `f(i,k,j)` does not depend on `k` (write `w(i,j)`), is monotone
+/// (`w(i',j') <= w(i,j)` for `[i',j'] ⊆ [i,j]`) and satisfies the
+/// quadrangle inequality `w(i,j) + w(i',j') <= w(i',j) + w(i,j')` for
+/// `i <= i' <= j <= j'`, the optimal split is monotone:
+/// `split(i,j-1) <= split(i,j) <= split(i+1,j)`, which caps the total scan
+/// work at O(n^2). Optimal BST is the canonical example. The checkers let
+/// tests and users establish applicability before trusting the fast path.
+
+#include <cstdint>
+
+#include "dp/problem.hpp"
+#include "dp/tables.hpp"
+
+namespace subdp::dp {
+
+/// True iff `f(i,k,j)` is the same for every valid `k` (O(n^3) scan).
+[[nodiscard]] bool is_k_independent(const Problem& problem);
+
+/// True iff the (k-independent) weight satisfies monotonicity and the
+/// quadrangle inequality. Requires `is_k_independent(problem)`.
+[[nodiscard]] bool satisfies_quadrangle_inequality(const Problem& problem);
+
+/// Solves a k-independent, QI instance in O(n^2) using split monotonicity.
+/// The caller is responsible for applicability (see the checkers); the
+/// result equals `solve_sequential` whenever the preconditions hold.
+/// If `ops_out` is non-null it receives the candidate-evaluation count.
+[[nodiscard]] DpResult solve_knuth(const Problem& problem,
+                                   std::uint64_t* ops_out = nullptr);
+
+}  // namespace subdp::dp

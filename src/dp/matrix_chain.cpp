@@ -1,0 +1,29 @@
+#include "dp/matrix_chain.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::dp {
+
+MatrixChainProblem::MatrixChainProblem(std::vector<Cost> dims)
+    : dims_(std::move(dims)) {
+  SUBDP_REQUIRE(dims_.size() >= 2, "need at least one matrix");
+  for (const Cost d : dims_) {
+    SUBDP_REQUIRE(d > 0, "matrix dimensions must be positive");
+  }
+}
+
+MatrixChainProblem MatrixChainProblem::clrs_example() {
+  return MatrixChainProblem({30, 35, 15, 5, 10, 20, 25});
+}
+
+MatrixChainProblem MatrixChainProblem::random(std::size_t n,
+                                              support::Rng& rng,
+                                              Cost max_dim) {
+  SUBDP_REQUIRE(n >= 1, "need at least one matrix");
+  SUBDP_REQUIRE(max_dim >= 1, "max_dim must be positive");
+  std::vector<Cost> dims(n + 1);
+  for (auto& d : dims) d = rng.uniform_int(1, max_dim);
+  return MatrixChainProblem(std::move(dims));
+}
+
+}  // namespace subdp::dp

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file matrix_chain.hpp
+/// Optimal matrix-chain multiplication as an instance of recurrence (*).
+///
+/// Multiplying matrices `A_1 ... A_n` with `A_t` of shape
+/// `dims[t-1] x dims[t]` costs `d_i * d_k * d_j` scalar multiplications to
+/// combine a product spanning `(i,k)` with one spanning `(k,j)`, so
+/// `f(i,k,j) = dims[i] * dims[k] * dims[j]` and `init(i) = 0`.
+
+#include <string>
+#include <vector>
+
+#include "dp/problem.hpp"
+#include "support/rng.hpp"
+
+namespace subdp::dp {
+
+/// Matrix-chain instance over `dims.size() - 1` matrices.
+class MatrixChainProblem final : public Problem {
+ public:
+  /// `dims` has `n + 1` entries, all positive.
+  explicit MatrixChainProblem(std::vector<Cost> dims);
+
+  [[nodiscard]] std::size_t size() const override {
+    return dims_.size() - 1;
+  }
+  [[nodiscard]] Cost init(std::size_t) const override { return 0; }
+  [[nodiscard]] Cost f(std::size_t i, std::size_t k,
+                       std::size_t j) const override {
+    SUBDP_ASSERT(i < k && k < j && j < dims_.size());
+    return dims_[i] * dims_[k] * dims_[j];
+  }
+  [[nodiscard]] std::string name() const override { return "matrix-chain"; }
+
+  [[nodiscard]] const std::vector<Cost>& dims() const noexcept {
+    return dims_;
+  }
+
+  /// The CLRS Section 15.2 textbook instance (optimal cost 15125).
+  [[nodiscard]] static MatrixChainProblem clrs_example();
+
+  /// Random instance with `n` matrices and dimensions in `[1, max_dim]`.
+  [[nodiscard]] static MatrixChainProblem random(std::size_t n,
+                                                 support::Rng& rng,
+                                                 Cost max_dim = 100);
+
+ private:
+  std::vector<Cost> dims_;
+};
+
+}  // namespace subdp::dp

@@ -1,0 +1,44 @@
+#include "dp/optimal_bst.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::dp {
+
+OptimalBstProblem::OptimalBstProblem(std::vector<Cost> key_weights,
+                                     std::vector<Cost> gap_weights)
+    : key_weights_(std::move(key_weights)),
+      gap_weights_(std::move(gap_weights)) {
+  SUBDP_REQUIRE(!key_weights_.empty(), "need at least one key");
+  SUBDP_REQUIRE(gap_weights_.size() == key_weights_.size() + 1,
+                "need one more gap weight than key weights");
+  for (const Cost w : key_weights_) {
+    SUBDP_REQUIRE(w >= 0, "key weights must be nonnegative");
+  }
+  for (const Cost w : gap_weights_) {
+    SUBDP_REQUIRE(w >= 0, "gap weights must be nonnegative");
+  }
+  key_prefix_.resize(key_weights_.size() + 1, 0);
+  for (std::size_t t = 0; t < key_weights_.size(); ++t) {
+    key_prefix_[t + 1] = key_prefix_[t] + key_weights_[t];
+  }
+  gap_prefix_.resize(gap_weights_.size() + 1, 0);
+  for (std::size_t t = 0; t < gap_weights_.size(); ++t) {
+    gap_prefix_[t + 1] = gap_prefix_[t] + gap_weights_[t];
+  }
+}
+
+OptimalBstProblem OptimalBstProblem::clrs_example() {
+  return OptimalBstProblem({15, 10, 5, 10, 20}, {5, 10, 5, 5, 5, 10});
+}
+
+OptimalBstProblem OptimalBstProblem::random(std::size_t keys,
+                                            support::Rng& rng,
+                                            Cost max_weight) {
+  SUBDP_REQUIRE(keys >= 1, "need at least one key");
+  std::vector<Cost> p(keys), q(keys + 1);
+  for (auto& w : p) w = rng.uniform_int(0, max_weight);
+  for (auto& w : q) w = rng.uniform_int(0, max_weight);
+  return OptimalBstProblem(std::move(p), std::move(q));
+}
+
+}  // namespace subdp::dp

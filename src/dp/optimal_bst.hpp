@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file optimal_bst.hpp
+/// Optimal binary search trees (Knuth 1971) as an instance of (*).
+///
+/// Given `m` keys with access weights `p_1..p_m` and `m+1` gap (miss)
+/// weights `q_0..q_m`, we use the standard parenthesization encoding: the
+/// objects are the `m + 1` gaps, so `n = m + 1`. Interval `(i,j)` covers
+/// gaps `i..j-1` and keys `i+1..j-1`; choosing split `k` makes key `k` the
+/// subtree root. Since lowering a subtree by one level adds its total
+/// weight once,
+///
+///   f(i,k,j) = W(i,j) = sum(q_i..q_{j-1}) + sum(p_{i+1}..p_{j-1})
+///
+/// independent of `k`, and `init(i) = 0`. `c(0,n)` is then the weighted
+/// path length `sum p_t (depth_t + 1) + sum q_g depth_g` of an optimal
+/// BST. `f` is O(1) after prefix sums, matching the paper's remark that
+/// the `f` values need O(log n) time and O(n^3) processors to prepare.
+
+#include <string>
+#include <vector>
+
+#include "dp/problem.hpp"
+#include "support/rng.hpp"
+
+namespace subdp::dp {
+
+/// Optimal BST instance over integer weights.
+class OptimalBstProblem final : public Problem {
+ public:
+  /// `key_weights` has `m >= 1` entries; `gap_weights` has `m + 1`.
+  /// All weights nonnegative.
+  OptimalBstProblem(std::vector<Cost> key_weights,
+                    std::vector<Cost> gap_weights);
+
+  [[nodiscard]] std::size_t size() const override {
+    return gap_weights_.size();  // n = m + 1 objects (the gaps)
+  }
+  [[nodiscard]] Cost init(std::size_t) const override { return 0; }
+  [[nodiscard]] Cost f(std::size_t i, [[maybe_unused]] std::size_t k,
+                       std::size_t j) const override {
+    SUBDP_ASSERT(i < k && k < j && j <= size());
+    return total_weight(i, j);
+  }
+  [[nodiscard]] std::string name() const override { return "optimal-bst"; }
+
+  /// `W(i,j)`: total weight of gaps `i..j-1` and keys `i+1..j-1`.
+  [[nodiscard]] Cost total_weight(std::size_t i, std::size_t j) const {
+    return (gap_prefix_[j] - gap_prefix_[i]) +
+           (key_prefix_[j - 1] - key_prefix_[i]);
+  }
+
+  [[nodiscard]] std::size_t key_count() const noexcept {
+    return key_weights_.size();
+  }
+  [[nodiscard]] const std::vector<Cost>& key_weights() const noexcept {
+    return key_weights_;
+  }
+  [[nodiscard]] const std::vector<Cost>& gap_weights() const noexcept {
+    return gap_weights_;
+  }
+
+  /// The CLRS Section 15.5 instance scaled by 100 (optimal cost 275).
+  [[nodiscard]] static OptimalBstProblem clrs_example();
+
+  /// Random instance with `keys` keys and weights in `[0, max_weight]`.
+  [[nodiscard]] static OptimalBstProblem random(std::size_t keys,
+                                                support::Rng& rng,
+                                                Cost max_weight = 50);
+
+ private:
+  std::vector<Cost> key_weights_;  ///< p_1..p_m (stored 0-based).
+  std::vector<Cost> gap_weights_;  ///< q_0..q_m.
+  std::vector<Cost> key_prefix_;   ///< key_prefix_[t] = p_1 + .. + p_t.
+  std::vector<Cost> gap_prefix_;   ///< gap_prefix_[t] = q_0 + .. + q_{t-1}.
+};
+
+}  // namespace subdp::dp

@@ -1,0 +1,78 @@
+#include "dp/polygon_triangulation.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace subdp::dp {
+
+PolygonTriangulationProblem PolygonTriangulationProblem::weight_product(
+    std::vector<Cost> vertex_weights) {
+  SUBDP_REQUIRE(vertex_weights.size() >= 3,
+                "a polygon needs at least three vertices");
+  for (const Cost w : vertex_weights) {
+    SUBDP_REQUIRE(w >= 0, "vertex weights must be nonnegative");
+  }
+  PolygonTriangulationProblem p;
+  p.n_ = vertex_weights.size() - 1;
+  p.weights_ = std::move(vertex_weights);
+  return p;
+}
+
+PolygonTriangulationProblem PolygonTriangulationProblem::perimeter(
+    std::vector<Point> vertices, double scale) {
+  SUBDP_REQUIRE(vertices.size() >= 3,
+                "a polygon needs at least three vertices");
+  SUBDP_REQUIRE(scale > 0.0, "scale must be positive");
+  PolygonTriangulationProblem p;
+  p.n_ = vertices.size() - 1;
+  p.points_ = std::move(vertices);
+  p.scale_ = scale;
+  return p;
+}
+
+PolygonTriangulationProblem PolygonTriangulationProblem::random(
+    std::size_t n, support::Rng& rng, Cost max_weight) {
+  SUBDP_REQUIRE(n >= 2, "need at least two sides");
+  std::vector<Cost> w(n + 1);
+  for (auto& v : w) v = rng.uniform_int(1, max_weight);
+  return weight_product(std::move(w));
+}
+
+PolygonTriangulationProblem PolygonTriangulationProblem::random_convex(
+    std::size_t n, support::Rng& rng) {
+  SUBDP_REQUIRE(n >= 2, "need at least two sides");
+  // Points on a circle with jittered radii stay convex as long as the
+  // jitter is mild; we sort angles implicitly by construction.
+  std::vector<Point> pts(n + 1);
+  const double two_pi = 6.283185307179586;
+  for (std::size_t t = 0; t <= n; ++t) {
+    const double angle =
+        two_pi * static_cast<double>(t) / static_cast<double>(n + 1);
+    const double radius = 100.0 * (1.0 + 0.05 * rng.uniform01());
+    pts[t] = Point{radius * std::cos(angle), radius * std::sin(angle)};
+  }
+  return perimeter(std::move(pts));
+}
+
+Cost PolygonTriangulationProblem::f(std::size_t i, std::size_t k,
+                                    std::size_t j) const {
+  SUBDP_ASSERT(i < k && k < j && j <= n_);
+  if (!weights_.empty()) {
+    return weights_[i] * weights_[k] * weights_[j];
+  }
+  const auto dist = [](const Point& a, const Point& b) {
+    return std::hypot(a.x - b.x, a.y - b.y);
+  };
+  const double peri = dist(points_[i], points_[k]) +
+                      dist(points_[k], points_[j]) +
+                      dist(points_[i], points_[j]);
+  return static_cast<Cost>(std::llround(scale_ * peri));
+}
+
+std::string PolygonTriangulationProblem::name() const {
+  return weights_.empty() ? "polygon-triangulation(perimeter)"
+                          : "polygon-triangulation(weights)";
+}
+
+}  // namespace subdp::dp

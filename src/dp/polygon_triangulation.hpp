@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file polygon_triangulation.hpp
+/// Optimal triangulation of convex polygons as an instance of (*).
+///
+/// A convex polygon `v_0, ..., v_n` (n sides `v_i v_{i+1}` plus the
+/// closing edge `v_n v_0`) is triangulated by parenthesizing its sides:
+/// interval `(i,j)` is the sub-polygon `v_i .. v_j` and split `k` forms
+/// triangle `(v_i, v_k, v_j)`. Two classic cost models are provided:
+///
+/// * *weight product* (Cormen et al. exercise form): each vertex carries a
+///   weight and triangle `(i,k,j)` costs `w_i * w_k * w_j` — structurally
+///   identical to matrix-chain but kept separate because the paper lists
+///   it as a distinct motivating application;
+/// * *perimeter* (Klincsek's problem): vertices are points in the plane
+///   and a triangle costs its perimeter, scaled to integers.
+
+#include <string>
+#include <vector>
+
+#include "dp/problem.hpp"
+#include "support/rng.hpp"
+
+namespace subdp::dp {
+
+/// A point in the plane (perimeter cost model).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Convex-polygon triangulation instance.
+class PolygonTriangulationProblem final : public Problem {
+ public:
+  /// Weight-product cost model; `vertex_weights` has `n + 1 >= 3` entries.
+  [[nodiscard]] static PolygonTriangulationProblem weight_product(
+      std::vector<Cost> vertex_weights);
+
+  /// Perimeter cost model; `vertices` are the polygon corners in convex
+  /// position (`n + 1 >= 3` points); costs are rounded from
+  /// `scale * perimeter`.
+  [[nodiscard]] static PolygonTriangulationProblem perimeter(
+      std::vector<Point> vertices, double scale = 1000.0);
+
+  /// Random weight-product instance on `n + 1` vertices.
+  [[nodiscard]] static PolygonTriangulationProblem random(
+      std::size_t n, support::Rng& rng, Cost max_weight = 50);
+
+  /// Random convex polygon (points on a perturbed circle), perimeter cost.
+  [[nodiscard]] static PolygonTriangulationProblem random_convex(
+      std::size_t n, support::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] Cost init(std::size_t) const override { return 0; }
+  [[nodiscard]] Cost f(std::size_t i, std::size_t k,
+                       std::size_t j) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  PolygonTriangulationProblem() = default;
+
+  std::size_t n_ = 0;  ///< Number of sides being parenthesized.
+  std::vector<Cost> weights_;   ///< Weight-product model (empty if unused).
+  std::vector<Point> points_;   ///< Perimeter model (empty if unused).
+  double scale_ = 1000.0;
+};
+
+}  // namespace subdp::dp

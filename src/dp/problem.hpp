@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file problem.hpp
+/// The recurrence family the paper targets (its equation (*)).
+///
+/// A `Problem` describes an instance of
+///
+///   c(i,j) = min_{i<k<j} { c(i,k) + c(k,j) + f(i,k,j) },  0 <= i < j <= n
+///   c(i,i+1) = init(i),                                   0 <= i < n
+///
+/// over `n` objects, with nonnegative `f` and `init`. Matrix-chain
+/// ordering, optimal binary search trees and optimal polygon triangulation
+/// are all instances (Sec. 1). Solvers only access instances through this
+/// interface, so any user-defined recurrence of the family plugs in.
+
+#include <cstddef>
+#include <string>
+
+#include "support/cost.hpp"
+
+namespace subdp::dp {
+
+/// Abstract instance of recurrence (*).
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  /// Number of objects `n` (the answer is `c(0, n)`); at least 1.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Leaf cost `init(i)` for the singleton interval `(i, i+1)`,
+  /// `0 <= i < size()`. Must be nonnegative and finite.
+  [[nodiscard]] virtual Cost init(std::size_t i) const = 0;
+
+  /// Decomposition cost `f(i,k,j)` for splitting `(i,j)` into `(i,k)` and
+  /// `(k,j)`, with `0 <= i < k < j <= size()`. Must be nonnegative and
+  /// finite, and cheap to evaluate (the paper assumes O(1) after
+  /// preprocessing).
+  [[nodiscard]] virtual Cost f(std::size_t i, std::size_t k,
+                               std::size_t j) const = 0;
+
+  /// Human-readable instance name for tables and logs.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace subdp::dp

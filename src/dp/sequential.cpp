@@ -1,0 +1,38 @@
+#include "dp/sequential.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::dp {
+
+DpResult solve_sequential(const Problem& problem, std::uint64_t* ops_out) {
+  const std::size_t n = problem.size();
+  DpResult result;
+  result.c = support::Grid2D<Cost>(n + 1, n + 1, kInfinity);
+  result.split = support::Grid2D<std::int32_t>(n + 1, n + 1, -1);
+
+  std::uint64_t ops = 0;
+  for (std::size_t i = 0; i < n; ++i) result.c(i, i + 1) = problem.init(i);
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      const std::size_t j = i + len;
+      Cost best = kInfinity;
+      std::size_t best_k = i + 1;
+      for (std::size_t k = i + 1; k < j; ++k) {
+        const Cost cand =
+            sat_add(result.c(i, k), result.c(k, j), problem.f(i, k, j));
+        ++ops;
+        if (cand < best) {
+          best = cand;
+          best_k = k;
+        }
+      }
+      result.c(i, j) = best;
+      result.split(i, j) = static_cast<std::int32_t>(best_k);
+    }
+  }
+  result.cost = n >= 2 ? result.c(0, n) : result.c(0, 1);
+  if (ops_out != nullptr) *ops_out = ops;
+  return result;
+}
+
+}  // namespace subdp::dp

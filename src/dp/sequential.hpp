@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file sequential.hpp
+/// The classic O(n^3) bottom-up dynamic program (the paper's sequential
+/// baseline, [1]). Fills intervals by increasing length; also reports the
+/// number of elementary candidate evaluations so experiment E6 can compare
+/// measured work across solvers.
+
+#include <cstdint>
+
+#include "dp/problem.hpp"
+#include "dp/tables.hpp"
+
+namespace subdp::dp {
+
+/// Solves `problem` in O(n^3) time; returns the full table and splits.
+/// If `ops_out` is non-null it receives the number of candidate
+/// evaluations (one per `(i,k,j)` triple considered).
+[[nodiscard]] DpResult solve_sequential(const Problem& problem,
+                                        std::uint64_t* ops_out = nullptr);
+
+}  // namespace subdp::dp

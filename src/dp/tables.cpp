@@ -1,0 +1,83 @@
+#include "dp/tables.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace subdp::dp {
+
+trees::FullBinaryTree extract_tree(const DpResult& result) {
+  const std::size_t n = result.c.rows() - 1;
+  return trees::FullBinaryTree::build(
+      n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        const auto k = static_cast<std::size_t>(result.split(lo, hi));
+        SUBDP_REQUIRE(lo < k && k < hi, "split table is inconsistent");
+        return k;
+      });
+}
+
+trees::FullBinaryTree extract_tree_from_w(const Problem& problem,
+                                          const support::Grid2D<Cost>& w) {
+  const std::size_t n = problem.size();
+  SUBDP_REQUIRE(w.rows() == n + 1 && w.cols() == n + 1,
+                "w table has wrong shape");
+  return trees::FullBinaryTree::build(
+      n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        Cost best = kInfinity;
+        std::size_t best_k = lo + 1;
+        for (std::size_t k = lo + 1; k < hi; ++k) {
+          const Cost cand = sat_add(w(lo, k), w(k, hi), problem.f(lo, k, hi));
+          if (cand < best) {
+            best = cand;
+            best_k = k;
+          }
+        }
+        SUBDP_REQUIRE(best == w(lo, hi),
+                      "w table is not a fixed point of the recurrence");
+        return best_k;
+      });
+}
+
+Cost tree_weight(const Problem& problem, const trees::FullBinaryTree& tree) {
+  Cost total = 0;
+  for (trees::NodeId x = 0;
+       static_cast<std::size_t>(x) < tree.node_count(); ++x) {
+    if (tree.is_leaf(x)) {
+      total = sat_add(total, problem.init(tree.lo(x)));
+    } else {
+      total = sat_add(
+          total, problem.f(tree.lo(x), tree.split(x), tree.hi(x)));
+    }
+  }
+  return total;
+}
+
+bool validate_result(const Problem& problem, const DpResult& result) {
+  const std::size_t n = problem.size();
+  if (result.c.rows() != n + 1 || result.c.cols() != n + 1) return false;
+  support::Grid2D<Cost> ref(n + 1, n + 1, kInfinity);
+  for (std::size_t i = 0; i < n; ++i) ref(i, i + 1) = problem.init(i);
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      const std::size_t j = i + len;
+      Cost best = kInfinity;
+      for (std::size_t k = i + 1; k < j; ++k) {
+        best = sat_min(best,
+                       sat_add(ref(i, k), ref(k, j), problem.f(i, k, j)));
+      }
+      ref(i, j) = best;
+      if (result.c(i, j) != best) return false;
+      const auto k = static_cast<std::size_t>(result.split(i, j));
+      if (k <= i || k >= j) return false;
+      if (sat_add(ref(i, k), ref(k, j), problem.f(i, k, j)) != best) {
+        return false;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.c(i, i + 1) != problem.init(i)) return false;
+  }
+  return result.cost == ref(0, n);
+}
+
+}  // namespace subdp::dp

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file tables.hpp
+/// Shared result representation for all DP solvers, plus optimal-tree
+/// extraction and validation.
+
+#include <cstdint>
+
+#include "support/cost.hpp"
+#include "support/grid.hpp"
+#include "dp/problem.hpp"
+#include "trees/full_binary_tree.hpp"
+
+namespace subdp::dp {
+
+/// A solved instance: the full `c` table plus argmin splits.
+struct DpResult {
+  Cost cost = kInfinity;  ///< `c(0, n)`.
+  /// `c(i,j)` for `0 <= i < j <= n`; cells outside that range are unused.
+  support::Grid2D<Cost> c;
+  /// `split(i,j)` = an optimal `k` for `(i,j)` (undefined for leaves).
+  support::Grid2D<std::int32_t> split;
+};
+
+/// Rebuilds the optimal decomposition tree from the split table.
+[[nodiscard]] trees::FullBinaryTree extract_tree(const DpResult& result);
+
+/// Extracts an optimal tree from a converged `w` table alone (no split
+/// table), by re-deriving `argmin_k w(i,k) + w(k,j) + f(i,k,j)` at every
+/// node. This is how a tree is recovered from the sublinear solver, whose
+/// iteration never materialises splits. Requires `w` to be optimal for
+/// every pair (which holds after the paper's `2*ceil(sqrt n)` iterations).
+[[nodiscard]] trees::FullBinaryTree extract_tree_from_w(
+    const Problem& problem, const support::Grid2D<Cost>& w);
+
+/// Sum of node weights of `tree` under `problem` (leaf `(i,i+1)` weighs
+/// `init(i)`, internal `(i,j)` split at `k` weighs `f(i,k,j)`) — the
+/// paper's `W(T)`. An optimal tree's weight equals `c(0,n)`.
+[[nodiscard]] Cost tree_weight(const Problem& problem,
+                               const trees::FullBinaryTree& tree);
+
+/// Recomputes every cell of `result.c` from scratch and checks
+/// consistency (cost matches, splits achieve the minima). O(n^3).
+[[nodiscard]] bool validate_result(const Problem& problem,
+                                   const DpResult& result);
+
+}  // namespace subdp::dp

@@ -1,0 +1,57 @@
+#include "dp/tabulated.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::dp {
+
+TabulatedProblem::TabulatedProblem(std::size_t n, std::string name)
+    : n_(n), name_(std::move(name)) {
+  SUBDP_REQUIRE(n >= 1, "need at least one object");
+  init_.assign(n, 0);
+  f_.assign((n + 1) * (n + 1) * (n + 1), 0);
+}
+
+TabulatedProblem TabulatedProblem::from(const Problem& problem) {
+  const std::size_t n = problem.size();
+  TabulatedProblem t(n, problem.name());
+  for (std::size_t i = 0; i < n; ++i) t.init_[i] = problem.init(i);
+  for (std::size_t i = 0; i + 2 <= n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      for (std::size_t k = i + 1; k < j; ++k) {
+        t.f_[t.index(i, k, j)] = problem.f(i, k, j);
+      }
+    }
+  }
+  return t;
+}
+
+TabulatedProblem TabulatedProblem::from_functions(
+    std::size_t n, std::string name,
+    const std::function<Cost(std::size_t)>& init,
+    const std::function<Cost(std::size_t, std::size_t, std::size_t)>& f) {
+  TabulatedProblem t(n, std::move(name));
+  for (std::size_t i = 0; i < n; ++i) t.init_[i] = init(i);
+  for (std::size_t i = 0; i + 2 <= n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      for (std::size_t k = i + 1; k < j; ++k) {
+        t.f_[t.index(i, k, j)] = f(i, k, j);
+      }
+    }
+  }
+  return t;
+}
+
+void TabulatedProblem::set_init(std::size_t i, Cost value) {
+  SUBDP_REQUIRE(i < n_, "init index out of range");
+  SUBDP_REQUIRE(value >= 0, "init must be nonnegative");
+  init_[i] = value;
+}
+
+void TabulatedProblem::set_f(std::size_t i, std::size_t k, std::size_t j,
+                             Cost value) {
+  SUBDP_REQUIRE(i < k && k < j && j <= n_, "f index out of range");
+  SUBDP_REQUIRE(value >= 0, "f must be nonnegative");
+  f_[index(i, k, j)] = value;
+}
+
+}  // namespace subdp::dp

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file tabulated.hpp
+/// A fully materialised instance: `init` and `f` stored in flat arrays.
+///
+/// Useful for (a) adversarial instances whose `f` has no closed form
+/// (`TreeShapedProblem`), (b) user-supplied recurrences, and (c) removing
+/// virtual-call and arithmetic cost from hot solver loops via
+/// `TabulatedProblem::from(problem)`.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dp/problem.hpp"
+
+namespace subdp::dp {
+
+/// Instance backed by an `(n+1)^3` table of `f` values.
+class TabulatedProblem final : public Problem {
+ public:
+  /// An all-zero instance of `n` objects named `name` (costs settable).
+  TabulatedProblem(std::size_t n, std::string name);
+
+  /// Materialises any instance (evaluates `f` O(n^3) times).
+  [[nodiscard]] static TabulatedProblem from(const Problem& problem);
+
+  /// Builds from a callable `f(i,k,j)` and callable `init(i)`.
+  [[nodiscard]] static TabulatedProblem from_functions(
+      std::size_t n, std::string name,
+      const std::function<Cost(std::size_t)>& init,
+      const std::function<Cost(std::size_t, std::size_t, std::size_t)>& f);
+
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] Cost init(std::size_t i) const override {
+    SUBDP_ASSERT(i < n_);
+    return init_[i];
+  }
+  [[nodiscard]] Cost f(std::size_t i, std::size_t k,
+                       std::size_t j) const override {
+    SUBDP_ASSERT(i < k && k < j && j <= n_);
+    return f_[index(i, k, j)];
+  }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  /// Mutators for instance generators.
+  void set_init(std::size_t i, Cost value);
+  void set_f(std::size_t i, std::size_t k, std::size_t j, Cost value);
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t k,
+                                  std::size_t j) const {
+    return (i * (n_ + 1) + k) * (n_ + 1) + j;
+  }
+
+  std::size_t n_;
+  std::string name_;
+  std::vector<Cost> init_;
+  std::vector<Cost> f_;
+};
+
+}  // namespace subdp::dp

@@ -1,0 +1,40 @@
+#include "dp/tree_shaped.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::dp {
+
+TreeShapedInstance make_tree_shaped_instance(
+    const trees::FullBinaryTree& target, support::Rng& rng, Cost max_noise) {
+  SUBDP_REQUIRE(max_noise >= 0, "max_noise must be nonnegative");
+  const std::size_t n = target.leaf_count();
+  TabulatedProblem problem(n, "tree-shaped(n=" + std::to_string(n) + ")");
+
+  // Penalty strictly exceeding the largest possible on-tree total:
+  // 2n - 1 nodes, each at most max_noise.
+  const Cost penalty =
+      max_noise * static_cast<Cost>(2 * n) + 1;
+  for (std::size_t i = 0; i + 2 <= n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      for (std::size_t k = i + 1; k < j; ++k) {
+        problem.set_f(i, k, j, penalty);
+      }
+    }
+  }
+
+  Cost total = 0;
+  for (trees::NodeId x = 0;
+       static_cast<std::size_t>(x) < target.node_count(); ++x) {
+    const Cost noise =
+        max_noise > 0 ? rng.uniform_int(0, max_noise) : 0;
+    total += noise;
+    if (target.is_leaf(x)) {
+      problem.set_init(target.lo(x), noise);
+    } else {
+      problem.set_f(target.lo(x), target.split(x), target.hi(x), noise);
+    }
+  }
+  return TreeShapedInstance{std::move(problem), total};
+}
+
+}  // namespace subdp::dp

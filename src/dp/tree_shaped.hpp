@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file tree_shaped.hpp
+/// Adversarial instances whose optimal tree is a prescribed shape.
+///
+/// The paper's worst case (Sec. 6) is a *zigzag* optimal tree; to exercise
+/// it the benchmark needs instances of (*) whose unique optimal
+/// decomposition tree is exactly a given `FullBinaryTree`. The penalty
+/// construction achieves this: `f(i,k,j)` is a small random "noise" value
+/// when `(i,j)` is a node of the target tree split at `k`, and a large
+/// penalty otherwise. Any tree other than the target must use at least one
+/// penalised decomposition, so the target is the unique optimum whenever
+/// `penalty > total noise budget`.
+
+#include "dp/tabulated.hpp"
+#include "support/rng.hpp"
+#include "trees/full_binary_tree.hpp"
+
+namespace subdp::dp {
+
+/// An instance plus its known optimum.
+struct TreeShapedInstance {
+  TabulatedProblem problem;
+  Cost optimal_cost = 0;  ///< Equals `tree_weight(problem, target)`.
+};
+
+/// Builds an instance of (*) whose unique optimal tree is `target`.
+/// `max_noise >= 0` adds uniform noise in `[0, max_noise]` to on-tree
+/// decompositions and leaf inits (0 = exact zero-cost tree).
+[[nodiscard]] TreeShapedInstance make_tree_shaped_instance(
+    const trees::FullBinaryTree& target, support::Rng& rng,
+    Cost max_noise = 8);
+
+}  // namespace subdp::dp

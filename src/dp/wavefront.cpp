@@ -1,0 +1,47 @@
+#include "dp/wavefront.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::dp {
+
+DpResult solve_wavefront(const Problem& problem, pram::Machine& machine) {
+  const std::size_t n = problem.size();
+  DpResult result;
+  result.c = support::Grid2D<Cost>(n + 1, n + 1, kInfinity);
+  result.split = support::Grid2D<std::int32_t>(n + 1, n + 1, -1);
+
+  machine.step("wavefront-init", static_cast<std::int64_t>(n),
+               [&](std::int64_t i) {
+                 const auto ii = static_cast<std::size_t>(i);
+                 result.c(ii, ii + 1) = problem.init(ii);
+                 machine.note_write(static_cast<std::uint64_t>(i));
+                 return std::uint64_t{1};
+               });
+
+  for (std::size_t len = 2; len <= n; ++len) {
+    machine.step(
+        "wavefront-diagonal", static_cast<std::int64_t>(n - len + 1),
+        [&, len](std::int64_t idx) {
+          const auto i = static_cast<std::size_t>(idx);
+          const std::size_t j = i + len;
+          Cost best = kInfinity;
+          std::size_t best_k = i + 1;
+          for (std::size_t k = i + 1; k < j; ++k) {
+            const Cost cand = sat_add(result.c(i, k), result.c(k, j),
+                                      problem.f(i, k, j));
+            if (cand < best) {
+              best = cand;
+              best_k = k;
+            }
+          }
+          result.c(i, j) = best;
+          result.split(i, j) = static_cast<std::int32_t>(best_k);
+          machine.note_write(i * (n + 1) + j);
+          return static_cast<std::uint64_t>(len - 1);
+        });
+  }
+  result.cost = result.c(0, n);
+  return result;
+}
+
+}  // namespace subdp::dp

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file wavefront.hpp
+/// Diagonal-parallel DP: the "optimal parallel algorithm" baseline of the
+/// paper's introduction ([10]: O(n) time with O(n^2) processors).
+///
+/// The `c` table is filled one anti-diagonal (interval length) at a time;
+/// all `n - len + 1` cells of a diagonal are independent and computed in
+/// one PRAM step on the supplied `Machine`, each cell reducing over its
+/// `len - 1` split candidates. Total work O(n^3) (optimal), depth O(n)
+/// with log-factors from the reductions — linear time, not sublinear,
+/// which is exactly the gap the paper's algorithm attacks.
+
+#include "dp/problem.hpp"
+#include "dp/tables.hpp"
+#include "pram/machine.hpp"
+
+namespace subdp::dp {
+
+/// Solves `problem` with one PRAM step per diagonal, executed and
+/// accounted on `machine`.
+[[nodiscard]] DpResult solve_wavefront(const Problem& problem,
+                                       pram::Machine& machine);
+
+}  // namespace subdp::dp

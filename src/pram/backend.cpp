@@ -1,0 +1,34 @@
+#include "pram/backend.hpp"
+
+namespace subdp::pram {
+
+const char* to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kSerial:
+      return "serial";
+    case Backend::kThreadPool:
+      return "threads";
+    case Backend::kOpenMP:
+      return "openmp";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> backend_from_string(const std::string& name) noexcept {
+  if (name == "serial") return Backend::kSerial;
+  if (name == "threads" || name == "threadpool") return Backend::kThreadPool;
+  if (name == "openmp" || name == "omp") return Backend::kOpenMP;
+  return std::nullopt;
+}
+
+bool openmp_available() noexcept {
+#ifdef SUBDP_HAVE_OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+Backend default_backend() noexcept { return Backend::kThreadPool; }
+
+}  // namespace subdp::pram

@@ -1,0 +1,41 @@
+#include "pram/cost_model.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::pram {
+
+void CostModel::add_step(const std::string& label, std::uint64_t work,
+                         std::uint64_t depth) {
+  SUBDP_REQUIRE(depth >= 1, "a PRAM step takes at least one time unit");
+  steps_.push_back(StepRecord{label, work, depth});
+  work_ += work;
+  depth_ += depth;
+}
+
+std::uint64_t CostModel::brent_time(std::uint64_t p) const {
+  SUBDP_REQUIRE(p >= 1, "processor count must be positive");
+  std::uint64_t t = 0;
+  for (const auto& s : steps_) {
+    t += (s.work + p - 1) / p + s.depth;
+  }
+  return t;
+}
+
+std::map<std::string, PhaseTotals> CostModel::phase_totals() const {
+  std::map<std::string, PhaseTotals> totals;
+  for (const auto& s : steps_) {
+    auto& t = totals[s.label];
+    t.steps += 1;
+    t.work += s.work;
+    t.depth += s.depth;
+  }
+  return totals;
+}
+
+void CostModel::reset() {
+  steps_.clear();
+  work_ = 0;
+  depth_ = 0;
+}
+
+}  // namespace subdp::pram

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file cost_model.hpp
+/// Work/depth accounting for simulated CREW PRAM executions.
+///
+/// The paper states its results in the synchronous PRAM model: an algorithm
+/// performs a sequence of *steps*; step `s` uses some number of processor
+/// operations (`work_s`) and, if each logical processor reduces over `m`
+/// candidates, a binary reduction tree of depth `ceil(log2 m)`
+/// (`depth_s`). The ledger records `(work_s, depth_s)` per labeled step, so
+/// experiments can report:
+///   * total work  (the processor-time *product* the paper compares),
+///   * total depth (the PRAM parallel time, up to constants),
+///   * Brent-scheduled time on `p` processors:
+///     `T_p = sum_s (ceil(work_s / p) + depth_s)`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace subdp::pram {
+
+/// One synchronous PRAM step.
+struct StepRecord {
+  std::string label;     ///< Phase name, e.g. "a-square".
+  std::uint64_t work;    ///< Total processor operations in the step.
+  std::uint64_t depth;   ///< Parallel time of the step (>= 1).
+};
+
+/// Aggregate of all steps sharing a label.
+struct PhaseTotals {
+  std::uint64_t steps = 0;
+  std::uint64_t work = 0;
+  std::uint64_t depth = 0;
+};
+
+/// Append-only ledger of PRAM steps.
+class CostModel {
+ public:
+  /// Records one step. `depth` defaults to 1 (a pure map step).
+  void add_step(const std::string& label, std::uint64_t work,
+                std::uint64_t depth = 1);
+
+  /// Total processor operations across all steps (= PT product at p -> inf).
+  [[nodiscard]] std::uint64_t total_work() const noexcept { return work_; }
+
+  /// Total PRAM depth (parallel time with unbounded processors).
+  [[nodiscard]] std::uint64_t total_depth() const noexcept { return depth_; }
+
+  /// Number of recorded steps.
+  [[nodiscard]] std::size_t step_count() const noexcept {
+    return steps_.size();
+  }
+
+  /// Brent's theorem schedule: time on `p` processors.
+  [[nodiscard]] std::uint64_t brent_time(std::uint64_t p) const;
+
+  /// Per-label totals (phase breakdown for experiment tables).
+  [[nodiscard]] std::map<std::string, PhaseTotals> phase_totals() const;
+
+  /// Raw step sequence.
+  [[nodiscard]] const std::vector<StepRecord>& steps() const noexcept {
+    return steps_;
+  }
+
+  /// Discards all records.
+  void reset();
+
+ private:
+  std::vector<StepRecord> steps_;
+  std::uint64_t work_ = 0;
+  std::uint64_t depth_ = 0;
+};
+
+}  // namespace subdp::pram

@@ -1,0 +1,56 @@
+#include "pram/crew_checker.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace subdp::pram {
+
+void CrewChecker::begin_step(const std::string& label) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SUBDP_REQUIRE(!in_step_, "begin_step while a step is already open");
+  writes_.clear();
+  current_label_ = label;
+  in_step_ = true;
+}
+
+void CrewChecker::record_write(std::uint64_t address) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SUBDP_ASSERT(in_step_);
+  writes_.push_back(address);
+}
+
+void CrewChecker::end_step() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SUBDP_REQUIRE(in_step_, "end_step without begin_step");
+  in_step_ = false;
+  std::sort(writes_.begin(), writes_.end());
+  for (std::size_t i = 1; i < writes_.size(); ++i) {
+    if (writes_[i] == writes_[i - 1]) {
+      ++violations_;
+      if (first_violation_.empty()) {
+        std::size_t count = 2;
+        while (i + count - 1 < writes_.size() &&
+               writes_[i + count - 1] == writes_[i]) {
+          ++count;
+        }
+        first_violation_ = "step " + current_label_ + ": cell " +
+                           std::to_string(writes_[i]) + " written " +
+                           std::to_string(count) + " times";
+      }
+      // Skip past this run of duplicates.
+      while (i + 1 < writes_.size() && writes_[i + 1] == writes_[i]) ++i;
+    }
+  }
+  writes_.clear();
+}
+
+void CrewChecker::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  writes_.clear();
+  in_step_ = false;
+  violations_ = 0;
+  first_violation_.clear();
+}
+
+}  // namespace subdp::pram

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file machine.hpp
+/// The CREW PRAM simulator facade.
+///
+/// `Machine` ties together execution (a `Backend`), accounting
+/// (`CostModel`) and optional conformance checking (`CrewChecker`). A PRAM
+/// program is expressed as a sequence of *steps*: `step(label, n, body)`
+/// runs `body(i)` for every logical processor `i in [0, n)` in parallel on
+/// the host, while the body reports how many elementary operations (table
+/// reads + min/add updates) processor `i` performed. The ledger then
+/// charges `work = sum(ops)` and `depth = 1 + ceil(log2(max ops))` — the
+/// cost of performing each processor's candidate scan as a balanced binary
+/// reduction, which is how the paper obtains its `O(n^k / log n)` processor
+/// bounds via Brent's theorem.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "pram/backend.hpp"
+#include "pram/cost_model.hpp"
+#include "pram/crew_checker.hpp"
+
+namespace subdp::pram {
+
+/// Configuration for a `Machine`.
+struct MachineOptions {
+  Backend backend = default_backend();
+  bool check_crew = false;   ///< Enable write-write conflict detection.
+  bool record_costs = true;  ///< Keep the work/depth ledger.
+};
+
+/// Executes and accounts synchronous PRAM steps.
+class Machine {
+ public:
+  explicit Machine(MachineOptions options = {});
+
+  /// The per-processor body: receives the logical processor index and
+  /// returns the number of elementary operations it performed (>= 0; a
+  /// pure assignment counts as 1).
+  using StepBody = std::function<std::uint64_t(std::int64_t)>;
+
+  /// Runs one synchronous PRAM step with `n` logical processors.
+  /// Returns the total work performed in the step.
+  std::uint64_t step(const std::string& label, std::int64_t n,
+                     const StepBody& body);
+
+  /// Reports a write to linearised cell `address` from inside a step body;
+  /// a no-op unless CREW checking is enabled.
+  void note_write(std::uint64_t address) {
+    if (crew_) crew_->record_write(address);
+  }
+
+  [[nodiscard]] Backend backend() const noexcept {
+    return options_.backend;
+  }
+  [[nodiscard]] const CostModel& costs() const noexcept { return costs_; }
+  [[nodiscard]] CostModel& costs() noexcept { return costs_; }
+
+  /// Null unless `check_crew` was set.
+  [[nodiscard]] const CrewChecker* crew() const noexcept {
+    return crew_.get();
+  }
+  [[nodiscard]] CrewChecker* crew() noexcept { return crew_.get(); }
+
+  /// Clears the ledger (and CREW tallies).
+  void reset();
+
+ private:
+  MachineOptions options_;
+  CostModel costs_;
+  std::unique_ptr<CrewChecker> crew_;
+};
+
+}  // namespace subdp::pram

@@ -1,0 +1,65 @@
+#include "pram/parallel.hpp"
+
+#include <algorithm>
+
+#include "pram/thread_pool.hpp"
+
+#ifdef SUBDP_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace subdp::pram {
+
+namespace {
+
+#ifdef SUBDP_HAVE_OPENMP
+void openmp_for_blocked(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const std::int64_t n = end - begin;
+  if (grain <= 0) {
+    const auto threads = static_cast<std::int64_t>(omp_get_max_threads());
+    grain = std::max<std::int64_t>(1, n / std::max<std::int64_t>(1, threads * 8));
+  }
+  const std::int64_t blocks = (n + grain - 1) / grain;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const std::int64_t lo = begin + b * grain;
+    const std::int64_t hi = std::min(lo + grain, end);
+    body(lo, hi);
+  }
+}
+#endif
+
+}  // namespace
+
+void parallel_for_blocked(
+    Backend backend, std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (begin >= end) return;
+  switch (backend) {
+    case Backend::kSerial:
+      body(begin, end);
+      return;
+    case Backend::kThreadPool:
+      ThreadPool::shared().parallel_for(begin, end, grain, body);
+      return;
+    case Backend::kOpenMP:
+#ifdef SUBDP_HAVE_OPENMP
+      openmp_for_blocked(begin, end, grain, body);
+#else
+      body(begin, end);  // graceful fallback when OpenMP is compiled out
+#endif
+      return;
+  }
+}
+
+void parallel_for_each(Backend backend, std::int64_t begin, std::int64_t end,
+                       const std::function<void(std::int64_t)>& body) {
+  parallel_for_blocked(backend, begin, end, 0,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) body(i);
+                       });
+}
+
+}  // namespace subdp::pram

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Backend-dispatched parallel loops.
+///
+/// `parallel_for_blocked` is the primitive every PRAM step compiles down
+/// to: the index range is split into blocks and the body is invoked once
+/// per block on some host thread. Blocks never overlap and jointly cover
+/// the range exactly once, whatever the backend.
+
+#include <cstdint>
+#include <functional>
+
+#include "pram/backend.hpp"
+
+namespace subdp::pram {
+
+/// Runs `body(block_begin, block_end)` over `[begin, end)` on `backend`.
+/// `grain` caps the block size (0 = automatic).
+void parallel_for_blocked(
+    Backend backend, std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// Element-wise convenience: `body(i)` for each `i` in `[begin, end)`.
+void parallel_for_each(Backend backend, std::int64_t begin, std::int64_t end,
+                       const std::function<void(std::int64_t)>& body);
+
+}  // namespace subdp::pram

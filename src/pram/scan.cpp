@@ -1,0 +1,52 @@
+#include "pram/scan.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::pram {
+
+std::vector<Cost> inclusive_scan(Machine& machine,
+                                 const std::vector<Cost>& values,
+                                 const std::string& label) {
+  const std::size_t n = values.size();
+  std::vector<Cost> data = values;
+  if (n <= 1) return data;
+
+  // Hillis-Steele-style doubling: log2(n) steps, each a parallel map in
+  // which processor i reads data[i - stride] from the previous buffer.
+  // (O(n log n) work; acceptable for the O(n)-sized inputs this library
+  // scans, and the depth matches the paper's O(log n) preprocessing.)
+  std::vector<Cost> previous(n);
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    previous = data;
+    machine.step(label, static_cast<std::int64_t>(n),
+                 [&](std::int64_t idx) -> std::uint64_t {
+                   const auto i = static_cast<std::size_t>(idx);
+                   if (i >= stride) {
+                     data[i] = sat_add(previous[i], previous[i - stride]);
+                     machine.note_write(static_cast<std::uint64_t>(i));
+                     return 1;
+                   }
+                   return 0;
+                 });
+  }
+  return data;
+}
+
+std::vector<Cost> exclusive_scan(Machine& machine,
+                                 const std::vector<Cost>& values,
+                                 const std::string& label) {
+  const std::size_t n = values.size();
+  const std::vector<Cost> inclusive = inclusive_scan(machine, values, label);
+  std::vector<Cost> out(n, 0);
+  if (n == 0) return out;
+  machine.step(label + "-shift", static_cast<std::int64_t>(n),
+               [&](std::int64_t idx) -> std::uint64_t {
+                 const auto i = static_cast<std::size_t>(idx);
+                 out[i] = i == 0 ? 0 : inclusive[i - 1];
+                 machine.note_write(static_cast<std::uint64_t>(i));
+                 return 1;
+               });
+  return out;
+}
+
+}  // namespace subdp::pram

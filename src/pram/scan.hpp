@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file scan.hpp
+/// Parallel prefix sums on the PRAM simulator.
+///
+/// Sec. 4 of the paper notes that the `f(i,k,j)` values of its
+/// applications are prepared in parallel before the main iteration —
+/// O(1) time / O(n^2) processors for matrix chains and triangulation,
+/// O(log n) time / O(n^3) processors for optimal BSTs (whose `f` is an
+/// interval weight, i.e. a prefix-sum query). This header provides the
+/// classic work-efficient Blelloch scan expressed as `Machine` steps, so
+/// the preprocessing phase appears in the same work/depth ledger as the
+/// main algorithm.
+
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "support/cost.hpp"
+
+namespace subdp::pram {
+
+/// Inclusive prefix sums of `values`, computed as O(log n) accounted
+/// PRAM steps on `machine` (up-sweep + down-sweep, O(n) work total).
+/// Returns the scanned vector; `values` is unchanged.
+[[nodiscard]] std::vector<Cost> inclusive_scan(Machine& machine,
+                                               const std::vector<Cost>& values,
+                                               const std::string& label);
+
+/// Exclusive variant: element i receives the sum of values[0..i-1].
+[[nodiscard]] std::vector<Cost> exclusive_scan(Machine& machine,
+                                               const std::vector<Cost>& values,
+                                               const std::string& label);
+
+}  // namespace subdp::pram

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A persistent fork-join thread pool.
+///
+/// The pool keeps `worker_count()` threads parked on a condition variable.
+/// `parallel_for` publishes one job (an index range plus a chunked body),
+/// wakes the workers, participates from the calling thread, and returns when
+/// every chunk has run. Chunks are claimed with a single `fetch_add`, so
+/// load imbalance between chunks is absorbed dynamically. Exceptions thrown
+/// by the body are captured and rethrown on the calling thread.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace subdp::pram {
+
+/// Fork-join pool; one instance can be reused for any number of loops,
+/// but loops must not be issued concurrently from different threads.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = `hardware_concurrency`).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute chunks (workers + the caller).
+  [[nodiscard]] unsigned parallelism() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs `body(chunk_begin, chunk_end)` over `[begin, end)` split into
+  /// chunks of at most `grain` indices (grain 0 = choose automatically).
+  /// Blocks until all chunks have completed.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// Process-wide shared pool, created on first use.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+  void run_chunks();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+
+  // Current job, valid while generation_ is odd-stepped per dispatch.
+  const std::function<void(std::int64_t, std::int64_t)>* body_ = nullptr;
+  std::int64_t job_begin_ = 0;
+  std::int64_t job_end_ = 0;
+  std::int64_t job_grain_ = 1;
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::atomic<unsigned> workers_active_{0};
+  std::uint64_t generation_ = 0;
+  bool shutting_down_ = false;
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace subdp::pram

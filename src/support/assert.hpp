@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file assert.hpp
+/// Assertion macros used across subdp.
+///
+/// `SUBDP_REQUIRE` is an always-on precondition check (throws
+/// `std::invalid_argument`); use it to validate user-facing API arguments.
+/// `SUBDP_ASSERT` is an internal invariant check (throws `std::logic_error`)
+/// compiled out in `NDEBUG` builds; use it in hot paths.
+
+#include <stdexcept>
+#include <string>
+
+namespace subdp::support {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("SUBDP_REQUIRE failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void assert_failed(const char* expr, const char* file,
+                                       int line) {
+  throw std::logic_error(std::string("SUBDP_ASSERT failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace subdp::support
+
+#define SUBDP_REQUIRE(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::subdp::support::require_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define SUBDP_ASSERT(expr) \
+  do {                     \
+  } while (false)
+#else
+#define SUBDP_ASSERT(expr)                                          \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::subdp::support::assert_failed(#expr, __FILE__, __LINE__);   \
+    }                                                               \
+  } while (false)
+#endif

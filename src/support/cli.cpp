@@ -1,0 +1,165 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace subdp::support {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  Flag f;
+  f.kind = Kind::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  flags_.emplace(name, std::move(f));
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag f;
+  f.kind = Kind::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_.emplace(name, std::move(f));
+}
+
+void ArgParser::add_string(const std::string& name, std::string default_value,
+                           const std::string& help) {
+  Flag f;
+  f.kind = Kind::kString;
+  f.help = help;
+  f.string_value = std::move(default_value);
+  flags_.emplace(name, std::move(f));
+}
+
+void ArgParser::add_bool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag f;
+  f.kind = Kind::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_.emplace(name, std::move(f));
+}
+
+bool ArgParser::assign(Flag& flag, const std::string& text) {
+  try {
+    switch (flag.kind) {
+      case Kind::kInt:
+        flag.int_value = std::stoll(text);
+        return true;
+      case Kind::kDouble:
+        flag.double_value = std::stod(text);
+        return true;
+      case Kind::kString:
+        flag.string_value = text;
+        return true;
+      case Kind::kBool:
+        flag.bool_value = (text == "true" || text == "1" || text == "yes");
+        return true;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return false;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    Flag& flag = it->second;
+    if (!value.has_value()) {
+      if (flag.kind == Kind::kBool) {
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(flag, *value)) {
+      std::fprintf(stderr, "could not parse value '%s' for flag --%s\n",
+                   value->c_str(), name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name,
+                                       Kind kind) const {
+  auto it = flags_.find(name);
+  SUBDP_REQUIRE(it != flags_.end(), "unregistered flag: " + name);
+  SUBDP_REQUIRE(it->second.kind == kind, "flag type mismatch: " + name);
+  return it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return find(name, Kind::kInt).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return find(name, Kind::kDouble).double_value;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).string_value;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).bool_value;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    switch (flag.kind) {
+      case Kind::kInt:
+        os << "=<int>     (default " << flag.int_value << ")";
+        break;
+      case Kind::kDouble:
+        os << "=<float>   (default " << flag.double_value << ")";
+        break;
+      case Kind::kString:
+        os << "=<string>  (default '" << flag.string_value << "')";
+        break;
+      case Kind::kBool:
+        os << "            (default " << (flag.bool_value ? "true" : "false")
+           << ")";
+        break;
+    }
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace subdp::support

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line flag parser for examples and experiment binaries.
+///
+/// Flags use the `--name=value` or `--name value` form; bare `--name` sets a
+/// boolean flag to true. Unknown flags are an error so that typos in sweep
+/// scripts fail loudly rather than silently running defaults.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace subdp::support {
+
+/// Declarative flag registry + parser.
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Registers a flag. `help` is printed by `usage()`.
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or on a
+  /// malformed/unknown flag; the caller should exit in that case.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional arguments (everything not starting with `--`).
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Renders the help text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  [[nodiscard]] const Flag& find(const std::string& name, Kind kind) const;
+  bool assign(Flag& flag, const std::string& text);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace subdp::support

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file grid.hpp
+/// Dense row-major 2-D array. Used for the O(n^2) `w'(i,j)` tables, split
+/// tables and prefix-weight matrices. Bounds are checked in debug builds.
+
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace subdp::support {
+
+/// `rows x cols` dense array of `T` with value-initialised elements.
+template <class T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+
+  Grid2D(std::size_t rows, std::size_t cols, const T& fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) {
+    SUBDP_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const {
+    SUBDP_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Resets every element to `fill`.
+  void fill(const T& fill) { data_.assign(data_.size(), fill); }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  friend bool operator==(const Grid2D& a, const Grid2D& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace subdp::support

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file log.hpp
+/// Leveled stderr logging. Quiet by default (warnings and errors only);
+/// experiment binaries raise the level behind a `--verbose` flag.
+
+#include <sstream>
+#include <string>
+
+namespace subdp::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted.
+void set_log_level(LogLevel level);
+
+/// Current global minimum severity.
+[[nodiscard]] LogLevel log_level();
+
+/// Emits `message` at `level` (with a severity prefix) if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <class T, class... Rest>
+void format_into(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+/// Streams all arguments into one log record.
+template <class... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(level, os.str());
+}
+
+template <class... Args>
+void log_debug(const Args&... args) {
+  log(LogLevel::kDebug, args...);
+}
+template <class... Args>
+void log_info(const Args&... args) {
+  log(LogLevel::kInfo, args...);
+}
+template <class... Args>
+void log_warn(const Args&... args) {
+  log(LogLevel::kWarn, args...);
+}
+template <class... Args>
+void log_error(const Args&... args) {
+  log(LogLevel::kError, args...);
+}
+
+}  // namespace subdp::support

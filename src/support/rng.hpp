@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// All experiment randomness flows through `Rng` (xoshiro256**, seeded via
+/// splitmix64) so that every test, example and benchmark is reproducible
+/// from a single 64-bit seed. We deliberately avoid `std::mt19937` +
+/// `std::uniform_int_distribution` because their outputs are not specified
+/// identically across standard libraries; experiment tables must be
+/// bit-stable across toolchains.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace subdp::support {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  /// Raw 64-bit output (UniformRandomBitGenerator interface).
+  [[nodiscard]] std::uint64_t next() noexcept;
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ull; }
+
+  /// Uniform integer in `[lo, hi]` (inclusive). Requires `lo <= hi`.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in `[0, 1)`.
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability `p`.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-trial streams).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace subdp::support

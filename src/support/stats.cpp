@@ -1,0 +1,109 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace subdp::support {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+
+  double sum = 0.0;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+
+  double sq = 0.0;
+  for (double x : xs) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = (sorted.size() % 2 == 1)
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  SUBDP_REQUIRE(xs.size() == ys.size(), "fit_linear: size mismatch");
+  SUBDP_REQUIRE(xs.size() >= 2, "fit_linear: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  fit.slope = denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit fit_power_law(std::span<const double> xs,
+                        std::span<const double> ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    SUBDP_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0,
+                  "fit_power_law: inputs must be positive");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+LinearFit fit_logarithmic(std::span<const double> xs,
+                          std::span<const double> ys) {
+  std::vector<double> lx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    SUBDP_REQUIRE(xs[i] > 0.0, "fit_logarithmic: x must be positive");
+    lx[i] = std::log2(xs[i]);
+  }
+  return fit_linear(lx, ys);
+}
+
+std::size_t ceil_sqrt(std::size_t n) {
+  if (n == 0) return 0;
+  auto r = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  while (r * r >= n && r > 0) --r;  // now r*r < n
+  while (r * r < n) ++r;            // smallest r with r*r >= n
+  return r;
+}
+
+std::size_t two_ceil_sqrt(std::size_t n) { return 2 * ceil_sqrt(n); }
+
+std::size_t ceil_log2(std::size_t n) {
+  SUBDP_REQUIRE(n >= 1, "ceil_log2: n must be >= 1");
+  std::size_t bits = 0;
+  std::size_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace subdp::support

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file stats.hpp
+/// Descriptive statistics and curve fits used by the experiment harness.
+///
+/// Benchmarks summarise repeated trials (`summarize`) and estimate empirical
+/// growth exponents by ordinary least squares in log-log space
+/// (`fit_power_law`) or semi-log space (`fit_logarithmic`), so every table
+/// can print "measured exponent" next to the paper's predicted one.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace subdp::support {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes a `Summary` of `xs`. An empty sample yields a zeroed summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Result of a least-squares straight-line fit `y = intercept + slope * x`.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< Coefficient of determination.
+};
+
+/// Ordinary least squares over the points `(xs[i], ys[i])`.
+/// Requires `xs.size() == ys.size() >= 2`.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Fits `y = C * x^alpha` by OLS on `log y = log C + alpha log x`.
+/// Returns `{alpha, log C, R^2}` in `LinearFit` fields (slope = alpha).
+/// All inputs must be strictly positive.
+[[nodiscard]] LinearFit fit_power_law(std::span<const double> xs,
+                                      std::span<const double> ys);
+
+/// Fits `y = a + b * log2(x)` (semi-log). slope = b, intercept = a.
+/// All `xs` must be strictly positive.
+[[nodiscard]] LinearFit fit_logarithmic(std::span<const double> xs,
+                                        std::span<const double> ys);
+
+/// Integer square root bound used throughout the paper:
+/// `2 * ceil(sqrt(n))`, the worst-case move count of Lemma 3.3.
+[[nodiscard]] std::size_t two_ceil_sqrt(std::size_t n);
+
+/// `ceil(sqrt(n))` computed exactly in integers.
+[[nodiscard]] std::size_t ceil_sqrt(std::size_t n);
+
+/// `ceil(log2(n))` for n >= 1 (returns 0 for n == 1).
+[[nodiscard]] std::size_t ceil_log2(std::size_t n);
+
+}  // namespace subdp::support

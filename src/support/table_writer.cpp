@@ -1,0 +1,100 @@
+#include "support/table_writer.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace subdp::support {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  SUBDP_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void TableWriter::add_row(std::vector<Cell> row) {
+  SUBDP_REQUIRE(row.size() == columns_.size(),
+                "row width must match column count");
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::format_cell(const Cell& cell) {
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&cell)) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(4) << *d;
+    std::string s = os.str();
+    // Trim trailing zeros but keep at least one decimal digit.
+    while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') {
+      s.pop_back();
+    }
+    return s;
+  }
+  return std::get<std::string>(cell);
+}
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  os << "\n== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& cells : rendered) emit_row(cells);
+}
+
+bool TableWriter::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string e = "\"";
+    for (char ch : s) {
+      if (ch == '"') e += '"';
+      e += ch;
+    }
+    e += '"';
+    return e;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c ? "," : "") << escape(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << escape(format_cell(row[c]));
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace subdp::support

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file table_writer.hpp
+/// Paper-style result tables: aligned text to stdout plus optional CSV.
+///
+/// Every experiment binary prints its rows through a `TableWriter`, so all
+/// outputs share one format and EXPERIMENTS.md can quote them verbatim.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace subdp::support {
+
+/// One cell: integer, float (printed with limited precision) or text.
+using Cell = std::variant<std::int64_t, double, std::string>;
+
+/// Accumulates rows under a fixed header and renders them aligned.
+class TableWriter {
+ public:
+  /// `title` is printed above the table; `columns` is the header row.
+  TableWriter(std::string title, std::vector<std::string> columns);
+
+  /// Appends a data row; must have exactly as many cells as columns.
+  void add_row(std::vector<Cell> row);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table (title, header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as RFC-4180-ish CSV (no title row) to `path`.
+  /// Returns false if the file could not be opened.
+  bool write_csv(const std::string& path) const;
+
+  /// Renders one cell as text (doubles get 4 significant decimals).
+  [[nodiscard]] static std::string format_cell(const Cell& cell);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace subdp::support

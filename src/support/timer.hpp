@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing helpers (steady clock).
+
+#include <chrono>
+
+namespace subdp::support {
+
+/// Stopwatch over `std::chrono::steady_clock`.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last `reset()`.
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last `reset()`.
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace subdp::support

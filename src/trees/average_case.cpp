@@ -1,0 +1,26 @@
+#include "trees/average_case.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::trees {
+
+std::vector<double> average_move_recurrence(std::size_t max_n) {
+  SUBDP_REQUIRE(max_n >= 1, "max_n must be at least 1");
+  std::vector<double> t(max_n + 1, 0.0);
+  std::vector<double> prefix(max_n + 1, 0.0);  // prefix[i] = sum_{j<=i} T(j)
+  t[1] = 0.0;
+  prefix[1] = 0.0;
+  for (std::size_t n = 2; n <= max_n; ++n) {
+    // max(T(i), T(n-i)) = T(max(i, n-i)) by monotonicity of T.
+    // Summing i = 1..n-1: every m in (n/2, n-1] appears twice (as i and
+    // n-i); if n is even, m = n/2 appears once.
+    const std::size_t half = n / 2;
+    double sum = 2.0 * (prefix[n - 1] - prefix[half]);
+    if (n % 2 == 0) sum += t[half];
+    t[n] = 1.0 + sum / static_cast<double>(n - 1);
+    prefix[n] = prefix[n - 1] + t[n];
+  }
+  return t;
+}
+
+}  // namespace subdp::trees

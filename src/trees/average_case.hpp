@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file average_case.hpp
+/// Exact evaluation of the Sec. 6 average-case recurrence.
+///
+/// With the optimal split uniform on `(i, j)` at every node, the expected
+/// number of moves to pebble the root of an n-leaf tree is modelled by
+///
+///   T(1) = 0,
+///   T(n) = 1 + (1/(n-1)) * sum_{i=1}^{n-1} max(T(i), T(n-i)),
+///
+/// which the paper shows is O(log n). We evaluate T exactly (O(n) total via
+/// prefix sums and the monotonicity T(i) <= T(j) for i <= j) so experiment
+/// E3 can compare the measured mean move count of simulated random trees
+/// against the recurrence's prediction.
+
+#include <cstddef>
+#include <vector>
+
+namespace subdp::trees {
+
+/// Returns `T[0 .. max_n]` (index 0 unused, `T[1] = 0`).
+[[nodiscard]] std::vector<double> average_move_recurrence(std::size_t max_n);
+
+}  // namespace subdp::trees

@@ -1,0 +1,71 @@
+#include "trees/chain_decomposition.hpp"
+
+#include <numeric>
+
+#include "support/stats.hpp"
+
+namespace subdp::trees {
+
+ChainDecomposition decompose(const FullBinaryTree& tree, NodeId x) {
+  ChainDecomposition d;
+  const std::size_t size = tree.size(x);
+  // i is the unique integer with i^2 < size <= (i+1)^2.
+  d.i = support::ceil_sqrt(size) - 1;
+  const std::size_t threshold = d.i * d.i;
+
+  // The "at most one heavy child" argument needs (i-1)^2 > 0, i.e. i >= 2
+  // (the paper notes 2(i^2+1) > (i+1)^2 "for i > 1"). For i <= 1 the
+  // subtree has at most 4 leaves and the lemma's base case covers it; we
+  // return the trivial chain {x}.
+  if (d.i <= 1) {
+    d.chain.push_back(x);
+    if (!tree.is_leaf(x)) {
+      d.terminal_child_sizes = {tree.size(tree.left(x)),
+                                tree.size(tree.right(x))};
+    }
+    return d;
+  }
+
+  NodeId v = x;
+  for (;;) {
+    d.chain.push_back(v);
+    if (tree.is_leaf(v)) break;
+    const NodeId l = tree.left(v);
+    const NodeId r = tree.right(v);
+    const bool l_heavy = tree.size(l) > threshold;
+    const bool r_heavy = tree.size(r) > threshold;
+    // At most one child can exceed i^2 (2(i^2+1) > (i+1)^2 for i >= 2).
+    SUBDP_ASSERT(!(l_heavy && r_heavy));
+    if (l_heavy && !r_heavy) {
+      d.off_chain_sizes.push_back(tree.size(r));
+      v = l;
+    } else if (r_heavy && !l_heavy) {
+      d.off_chain_sizes.push_back(tree.size(l));
+      v = r;
+    } else {
+      d.terminal_child_sizes = {tree.size(l), tree.size(r)};
+      break;
+    }
+  }
+  return d;
+}
+
+bool verify_chain_bounds(const FullBinaryTree& tree,
+                         const ChainDecomposition& d) {
+  const std::size_t i = d.i;
+  if (d.chain.empty()) return false;
+  if (i <= 1) return d.chain.size() == 1;  // trivial chain (base case)
+  if (d.chain.size() > 2 * i + 1) return false;
+  for (const NodeId v : d.chain) {
+    if (tree.size(v) <= i * i) return false;
+  }
+  for (const std::size_t s : d.terminal_child_sizes) {
+    if (s > i * i) return false;
+  }
+  const std::size_t off_total = std::accumulate(
+      d.off_chain_sizes.begin(), d.off_chain_sizes.end(), std::size_t{0});
+  if (off_total > 2 * i) return false;
+  return true;
+}
+
+}  // namespace subdp::trees

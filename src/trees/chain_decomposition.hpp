@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file chain_decomposition.hpp
+/// The chain construction from the proof of Lemma 3.3 (paper Fig. 1).
+///
+/// For a node `x` with `i^2 < size(x) <= (i+1)^2`, at most one child of any
+/// node on the path can have size exceeding `i^2`; following those heavy
+/// children yields a *chain* `v_1 = x, ..., v_k` ending at the first node
+/// whose children are both of size `<= i^2`. The proof bounds the chain
+/// length by `k <= 2i + 1` and the total off-chain weight
+/// `n_1 + ... + n_{k-1} <= 2i`, which drives the inductive step of the
+/// lemma. `decompose` materialises the chain so tests and benches can
+/// verify exactly these bounds on arbitrary trees.
+
+#include <cstddef>
+#include <vector>
+
+#include "trees/full_binary_tree.hpp"
+
+namespace subdp::trees {
+
+/// The Fig. 1 chain of a node.
+struct ChainDecomposition {
+  /// `i` such that `i^2 < size(x) <= (i+1)^2`.
+  std::size_t i = 0;
+  /// Chain nodes `v_1 = x, ..., v_k`; every node has `size > i^2`.
+  std::vector<NodeId> chain;
+  /// Sizes `n_j` of the off-chain children of `v_1 .. v_{k-1}`.
+  std::vector<std::size_t> off_chain_sizes;
+  /// Sizes of the two children of the last chain node (`n_k`, `n_{k+1}`);
+  /// both `<= i^2`. Empty when the last chain node is a leaf.
+  std::vector<std::size_t> terminal_child_sizes;
+};
+
+/// Computes the chain decomposition of node `x` (paper Fig. 1).
+[[nodiscard]] ChainDecomposition decompose(const FullBinaryTree& tree,
+                                           NodeId x);
+
+/// Verifies all bounds asserted in the proof of Lemma 3.3:
+/// chain length `k <= 2i + 1`, every chain node size `> i^2`, terminal
+/// children `<= i^2`, and `sum(off_chain_sizes) <= 2i`.
+[[nodiscard]] bool verify_chain_bounds(const FullBinaryTree& tree,
+                                       const ChainDecomposition& d);
+
+}  // namespace subdp::trees

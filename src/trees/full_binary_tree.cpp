@@ -1,0 +1,119 @@
+#include "trees/full_binary_tree.hpp"
+
+#include <algorithm>
+#include <stack>
+
+namespace subdp::trees {
+
+FullBinaryTree FullBinaryTree::build(std::size_t n_leaves,
+                                     const SplitFn& split) {
+  SUBDP_REQUIRE(n_leaves >= 1, "a tree needs at least one leaf");
+  FullBinaryTree t;
+  t.n_leaves_ = n_leaves;
+  const std::size_t total = 2 * n_leaves - 1;
+  t.lo_.reserve(total);
+  t.hi_.reserve(total);
+  t.left_.reserve(total);
+  t.right_.reserve(total);
+  t.parent_.reserve(total);
+
+  struct Frame {
+    std::size_t lo, hi, depth;
+    NodeId parent;
+    bool is_left;
+  };
+  std::stack<Frame> todo;
+  todo.push(Frame{0, n_leaves, 0, kNoNode, false});
+  while (!todo.empty()) {
+    const Frame f = todo.top();
+    todo.pop();
+    const auto id = static_cast<NodeId>(t.lo_.size());
+    t.lo_.push_back(static_cast<std::uint32_t>(f.lo));
+    t.hi_.push_back(static_cast<std::uint32_t>(f.hi));
+    t.left_.push_back(kNoNode);
+    t.right_.push_back(kNoNode);
+    t.parent_.push_back(f.parent);
+    if (f.parent != kNoNode) {
+      auto& slot = f.is_left ? t.left_[static_cast<std::size_t>(f.parent)]
+                             : t.right_[static_cast<std::size_t>(f.parent)];
+      slot = id;
+    }
+    if (f.hi - f.lo > 1) {
+      const std::size_t k = split(f.lo, f.hi, f.depth);
+      SUBDP_REQUIRE(f.lo < k && k < f.hi,
+                    "split point must lie strictly inside the interval");
+      // Push right first so the left child is created (and numbered) first.
+      todo.push(Frame{k, f.hi, f.depth + 1, id, false});
+      todo.push(Frame{f.lo, k, f.depth + 1, id, true});
+    }
+  }
+  SUBDP_ASSERT(t.lo_.size() == total);
+  return t;
+}
+
+NodeId FullBinaryTree::node_at(std::size_t lo_q, std::size_t hi_q) const {
+  if (lo_q >= hi_q || hi_q > n_leaves_) return kNoNode;
+  NodeId x = root();
+  for (;;) {
+    if (lo(x) == lo_q && hi(x) == hi_q) return x;
+    if (is_leaf(x)) return kNoNode;
+    const NodeId l = left(x);
+    if (lo_q >= lo(l) && hi_q <= hi(l)) {
+      x = l;
+      continue;
+    }
+    const NodeId r = right(x);
+    if (lo_q >= lo(r) && hi_q <= hi(r)) {
+      x = r;
+      continue;
+    }
+    return kNoNode;  // interval straddles the split: not a node
+  }
+}
+
+std::size_t FullBinaryTree::height() const {
+  // Iterative: depth of each node via parent links in creation order
+  // (parents are always created before their children).
+  std::vector<std::uint32_t> depth(node_count(), 0);
+  std::size_t best = 0;
+  for (std::size_t x = 1; x < node_count(); ++x) {
+    const auto p = static_cast<std::size_t>(parent_[x]);
+    depth[x] = depth[p] + 1;
+    best = std::max(best, static_cast<std::size_t>(depth[x]));
+  }
+  return best;
+}
+
+std::vector<NodeId> FullBinaryTree::leaves() const {
+  std::vector<NodeId> out(n_leaves_, kNoNode);
+  for (std::size_t x = 0; x < node_count(); ++x) {
+    if (hi_[x] - lo_[x] == 1) out[lo_[x]] = static_cast<NodeId>(x);
+  }
+  return out;
+}
+
+bool FullBinaryTree::validate() const {
+  if (node_count() != 2 * n_leaves_ - 1) return false;
+  if (lo(root()) != 0 || hi(root()) != n_leaves_) return false;
+  for (NodeId x = 0; static_cast<std::size_t>(x) < node_count(); ++x) {
+    if (lo(x) >= hi(x)) return false;
+    const bool leaf = is_leaf(x);
+    if (leaf != (left(x) == kNoNode) || leaf != (right(x) == kNoNode)) {
+      return false;  // full binary tree: zero or two children
+    }
+    if (!leaf) {
+      const NodeId l = left(x);
+      const NodeId r = right(x);
+      if (lo(l) != lo(x) || hi(r) != hi(x) || hi(l) != lo(r)) return false;
+      if (parent(l) != x || parent(r) != x) return false;
+    }
+    if (x == root()) {
+      if (parent(x) != kNoNode) return false;
+    } else if (parent(x) == kNoNode) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace subdp::trees

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file full_binary_tree.hpp
+/// Arena-allocated full binary trees over leaf intervals.
+///
+/// The paper's trees (Sec. 2) have nodes labelled by pairs `(i,j)`,
+/// `0 <= i < j <= n`: an internal node `(i,j)` has children `(i,k)` and
+/// `(k,j)` for some split `i < k < j`, and leaves are `(i,i+1)`. A tree
+/// with `n` leaves therefore has exactly `2n - 1` nodes and every internal
+/// node has two children ("full" in the paper's Definition 3.1).
+///
+/// Nodes live in a flat arena indexed by `NodeId`; construction is
+/// iterative so that degenerate (skewed) trees with millions of leaves do
+/// not overflow the call stack.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace subdp::trees {
+
+/// Index into the node arena.
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node" (parent of the root, children of leaves).
+inline constexpr NodeId kNoNode = -1;
+
+/// Immutable full binary tree over the leaf interval `[0, n_leaves)`.
+class FullBinaryTree {
+ public:
+  /// Chooses the split point `k` (with `lo < k < hi`) for the node covering
+  /// leaves `[lo, hi)` at depth `depth` below the root.
+  using SplitFn =
+      std::function<std::size_t(std::size_t lo, std::size_t hi,
+                                std::size_t depth)>;
+
+  /// An empty placeholder (no nodes); assign a built tree before use.
+  FullBinaryTree() = default;
+
+  /// Builds the tree determined by `split` over `n_leaves >= 1` leaves.
+  static FullBinaryTree build(std::size_t n_leaves, const SplitFn& split);
+
+  /// Number of leaves `n`.
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return n_leaves_; }
+
+  /// Total number of nodes (`2n - 1`).
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return lo_.size();
+  }
+
+  /// The root node id (always 0).
+  [[nodiscard]] NodeId root() const noexcept { return 0; }
+
+  [[nodiscard]] bool is_leaf(NodeId x) const {
+    return hi(x) - lo(x) == 1;
+  }
+
+  /// Interval bounds: node `x` covers leaves `[lo(x), hi(x))`; in the
+  /// paper's pair notation the node is `(lo, hi)`.
+  [[nodiscard]] std::size_t lo(NodeId x) const {
+    SUBDP_ASSERT(valid(x));
+    return lo_[static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::size_t hi(NodeId x) const {
+    SUBDP_ASSERT(valid(x));
+    return hi_[static_cast<std::size_t>(x)];
+  }
+
+  /// `size(x)` in the paper's sense: number of leaves below `x`.
+  [[nodiscard]] std::size_t size(NodeId x) const { return hi(x) - lo(x); }
+
+  [[nodiscard]] NodeId left(NodeId x) const {
+    SUBDP_ASSERT(valid(x));
+    return left_[static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] NodeId right(NodeId x) const {
+    SUBDP_ASSERT(valid(x));
+    return right_[static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] NodeId parent(NodeId x) const {
+    SUBDP_ASSERT(valid(x));
+    return parent_[static_cast<std::size_t>(x)];
+  }
+
+  /// The split point of an internal node: its children are
+  /// `(lo, split)` and `(split, hi)`.
+  [[nodiscard]] std::size_t split(NodeId x) const {
+    SUBDP_ASSERT(!is_leaf(x));
+    return hi(left(x));
+  }
+
+  /// True iff `a` is an ancestor of `b` (every node is its own ancestor).
+  /// O(1) via interval containment.
+  [[nodiscard]] bool is_ancestor(NodeId a, NodeId b) const {
+    return lo(a) <= lo(b) && hi(b) <= hi(a);
+  }
+
+  /// Locates the node with interval `(lo, hi)` by descending from the
+  /// root; returns `kNoNode` if the tree has no such node.
+  [[nodiscard]] NodeId node_at(std::size_t lo, std::size_t hi) const;
+
+  /// Longest root-to-leaf path length in edges.
+  [[nodiscard]] std::size_t height() const;
+
+  /// Ids of all leaves, ordered by interval.
+  [[nodiscard]] std::vector<NodeId> leaves() const;
+
+  /// Structural self-check (sizes, parents, intervals); used by tests.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  [[nodiscard]] bool valid(NodeId x) const noexcept {
+    return x >= 0 && static_cast<std::size_t>(x) < lo_.size();
+  }
+
+  std::size_t n_leaves_ = 0;
+  // Structure-of-arrays layout: hot loops touch only the fields they need.
+  std::vector<std::uint32_t> lo_;
+  std::vector<std::uint32_t> hi_;
+  std::vector<NodeId> left_;
+  std::vector<NodeId> right_;
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace subdp::trees

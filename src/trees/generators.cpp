@@ -1,0 +1,87 @@
+#include "trees/generators.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace subdp::trees {
+
+const char* to_string(TreeShape shape) noexcept {
+  switch (shape) {
+    case TreeShape::kComplete:
+      return "complete";
+    case TreeShape::kLeftSkewed:
+      return "left-skewed";
+    case TreeShape::kRightSkewed:
+      return "right-skewed";
+    case TreeShape::kZigzag:
+      return "zigzag";
+    case TreeShape::kRandom:
+      return "random";
+    case TreeShape::kBiasedRandom:
+      return "biased-random";
+  }
+  return "unknown";
+}
+
+std::optional<TreeShape> shape_from_string(const std::string& name) noexcept {
+  for (const TreeShape s : kAllShapes) {
+    if (name == to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
+FullBinaryTree make_tree(TreeShape shape, std::size_t n_leaves,
+                         support::Rng* rng) {
+  SUBDP_REQUIRE(n_leaves >= 1, "need at least one leaf");
+  switch (shape) {
+    case TreeShape::kComplete:
+      return FullBinaryTree::build(
+          n_leaves, [](std::size_t lo, std::size_t hi, std::size_t) {
+            return lo + (hi - lo) / 2;
+          });
+    case TreeShape::kLeftSkewed:
+      // Left child carries all but one leaf: spine descends leftward.
+      return FullBinaryTree::build(
+          n_leaves, [](std::size_t, std::size_t hi, std::size_t) {
+            return hi - 1;
+          });
+    case TreeShape::kRightSkewed:
+      return FullBinaryTree::build(
+          n_leaves, [](std::size_t lo, std::size_t, std::size_t) {
+            return lo + 1;
+          });
+    case TreeShape::kZigzag:
+      // The spine turns at every level (Fig. 2a): even depths shed a leaf
+      // on the left, odd depths shed a leaf on the right.
+      return FullBinaryTree::build(
+          n_leaves, [](std::size_t lo, std::size_t hi, std::size_t depth) {
+            return depth % 2 == 0 ? lo + 1 : hi - 1;
+          });
+    case TreeShape::kRandom:
+      SUBDP_REQUIRE(rng != nullptr, "random shape requires an Rng");
+      return FullBinaryTree::build(
+          n_leaves, [rng](std::size_t lo, std::size_t hi, std::size_t) {
+            return static_cast<std::size_t>(rng->uniform_int(
+                static_cast<std::int64_t>(lo) + 1,
+                static_cast<std::int64_t>(hi) - 1));
+          });
+    case TreeShape::kBiasedRandom:
+      SUBDP_REQUIRE(rng != nullptr, "biased-random shape requires an Rng");
+      return FullBinaryTree::build(
+          n_leaves, [rng](std::size_t lo, std::size_t hi, std::size_t) {
+            // With probability 1/2 shed a single leaf on a random side,
+            // otherwise split uniformly: caterpillar-ish trees.
+            if (rng->bernoulli(0.5)) {
+              return rng->bernoulli(0.5) ? lo + 1 : hi - 1;
+            }
+            return static_cast<std::size_t>(rng->uniform_int(
+                static_cast<std::int64_t>(lo) + 1,
+                static_cast<std::int64_t>(hi) - 1));
+          });
+  }
+  SUBDP_REQUIRE(false, "unhandled tree shape");
+  return FullBinaryTree::build(1, {});  // unreachable
+}
+
+}  // namespace subdp::trees

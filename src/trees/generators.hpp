@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file generators.hpp
+/// Tree-shape generators for the pebbling experiments (paper Fig. 2).
+///
+/// * `kComplete` — balanced splits; the paper's best case, O(log n) moves.
+/// * `kLeftSkewed` / `kRightSkewed` — a spine that always continues on one
+///   side (Fig. 2b); height n-1.
+/// * `kZigzag` — the spine alternates direction at every level (Fig. 2a);
+///   the paper's pathological Theta(sqrt n) worst case for the game *and*
+///   for the algorithm.
+/// * `kRandom` — the optimal split is uniform on `(i, j)` independently at
+///   every node; the model behind the Sec. 6 average-case analysis.
+/// * `kBiasedRandom` — random split biased toward the boundary (long, thin
+///   trees more likely than uniform); stress shape between random and
+///   skewed.
+
+#include <optional>
+#include <string>
+
+#include "support/rng.hpp"
+#include "trees/full_binary_tree.hpp"
+
+namespace subdp::trees {
+
+enum class TreeShape {
+  kComplete,
+  kLeftSkewed,
+  kRightSkewed,
+  kZigzag,
+  kRandom,
+  kBiasedRandom,
+};
+
+/// All shapes, for parameterized tests and sweeps.
+inline constexpr TreeShape kAllShapes[] = {
+    TreeShape::kComplete,   TreeShape::kLeftSkewed,
+    TreeShape::kRightSkewed, TreeShape::kZigzag,
+    TreeShape::kRandom,     TreeShape::kBiasedRandom,
+};
+
+[[nodiscard]] const char* to_string(TreeShape shape) noexcept;
+[[nodiscard]] std::optional<TreeShape> shape_from_string(
+    const std::string& name) noexcept;
+
+/// Builds a tree of the requested shape with `n_leaves` leaves.
+/// `rng` is required for the random shapes and ignored otherwise.
+[[nodiscard]] FullBinaryTree make_tree(TreeShape shape, std::size_t n_leaves,
+                                       support::Rng* rng = nullptr);
+
+}  // namespace subdp::trees

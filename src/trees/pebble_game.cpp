@@ -1,0 +1,140 @@
+#include "trees/pebble_game.hpp"
+
+namespace subdp::trees {
+
+const char* to_string(SquareRule rule) noexcept {
+  switch (rule) {
+    case SquareRule::kOneLevel:
+      return "one-level";
+    case SquareRule::kPathDoubling:
+      return "path-doubling";
+  }
+  return "unknown";
+}
+
+PebbleGame::PebbleGame(const FullBinaryTree& tree, SquareRule rule)
+    : tree_(&tree), rule_(rule) {
+  const std::size_t total = tree.node_count();
+  pebbled_.assign(total, 0);
+  cond_.resize(total);
+  for (NodeId x = 0; static_cast<std::size_t>(x) < total; ++x) {
+    cond_[static_cast<std::size_t>(x)] = x;
+    if (tree.is_leaf(x)) pebbled_[static_cast<std::size_t>(x)] = 1;
+  }
+  pebbled_next_ = pebbled_;
+  cond_next_ = cond_;
+}
+
+void PebbleGame::activate() {
+  // Reads pebbled_ (stable during this operation) and each node's own
+  // cond; writes each node's own cond — safe in place.
+  const auto total = static_cast<NodeId>(tree_->node_count());
+  for (NodeId x = 0; x < total; ++x) {
+    const auto xi = static_cast<std::size_t>(x);
+    if (cond_[xi] != x || tree_->is_leaf(x)) continue;
+    const NodeId l = tree_->left(x);
+    const NodeId r = tree_->right(x);
+    const bool lp = pebbled_[static_cast<std::size_t>(l)] != 0;
+    const bool rp = pebbled_[static_cast<std::size_t>(r)] != 0;
+    if (lp || rp) {
+      // Point at the *other* child (pebbled or not). If both are pebbled
+      // either choice is valid; we mirror the paper and take the left
+      // child's sibling first, i.e. cond := the non-pebbled one if there
+      // is one, else the right child.
+      cond_[xi] = lp ? r : l;
+    }
+  }
+}
+
+void PebbleGame::square() {
+  // Reads cond of other nodes: double-buffer for synchronous semantics.
+  const auto total = static_cast<NodeId>(tree_->node_count());
+  cond_next_ = cond_;
+  for (NodeId x = 0; x < total; ++x) {
+    const auto xi = static_cast<std::size_t>(x);
+    const NodeId c = cond_[xi];
+    const NodeId cc = cond_[static_cast<std::size_t>(c)];
+    if (cc == c) continue;
+    if (rule_ == SquareRule::kPathDoubling) {
+      cond_next_[xi] = cc;
+    } else {
+      // One-level rule: descend to the child of cond(x) that is an
+      // ancestor of cond(cond(x)). cc is a strict descendant of c, so
+      // exactly one child qualifies.
+      const NodeId l = tree_->left(c);
+      cond_next_[xi] = tree_->is_ancestor(l, cc) ? l : tree_->right(c);
+    }
+  }
+  cond_.swap(cond_next_);
+}
+
+void PebbleGame::pebble() {
+  // Reads pebbled of cond(x), writes pebbled of x: double-buffer.
+  const auto total = static_cast<NodeId>(tree_->node_count());
+  pebbled_next_ = pebbled_;
+  for (NodeId x = 0; x < total; ++x) {
+    const auto xi = static_cast<std::size_t>(x);
+    if (pebbled_[xi] == 0 &&
+        pebbled_[static_cast<std::size_t>(cond_[xi])] != 0) {
+      pebbled_next_[xi] = 1;
+    }
+  }
+  pebbled_.swap(pebbled_next_);
+}
+
+void PebbleGame::move() {
+  activate();
+  square();
+  pebble();
+  ++moves_;
+}
+
+std::size_t PebbleGame::run_until_root(std::size_t max_moves) {
+  std::size_t made = 0;
+  while (!root_pebbled() && made < max_moves) {
+    move();
+    ++made;
+  }
+  return made;
+}
+
+std::size_t PebbleGame::pebble_count() const {
+  std::size_t count = 0;
+  for (const auto p : pebbled_) count += p;
+  return count;
+}
+
+bool PebbleGame::invariant_a_holds(std::size_t k) const {
+  const auto total = static_cast<NodeId>(tree_->node_count());
+  for (NodeId x = 0; x < total; ++x) {
+    if (tree_->size(x) <= k * k && !pebbled(x)) return false;
+  }
+  return true;
+}
+
+bool PebbleGame::invariant_b_holds(std::size_t k) const {
+  const auto total = static_cast<NodeId>(tree_->node_count());
+  for (NodeId x = 0; x < total; ++x) {
+    if (pebbled(x)) continue;
+    const NodeId c = cond(x);
+    if (pebbled(c)) continue;
+    if (tree_->is_leaf(c)) continue;  // leaves are pebbled; defensive
+    const bool son_pebbled =
+        pebbled(tree_->left(c)) || pebbled(tree_->right(c));
+    if (!son_pebbled) continue;
+    if (tree_->size(x) - tree_->size(c) >= 2 * k + 1) continue;
+    return false;
+  }
+  return true;
+}
+
+bool PebbleGame::pointers_consistent() const {
+  const auto total = static_cast<NodeId>(tree_->node_count());
+  for (NodeId x = 0; x < total; ++x) {
+    if (!tree_->is_ancestor(x, cond(x))) return false;
+    if (tree_->is_leaf(x) && !pebbled(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace subdp::trees

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file pebble_game.hpp
+/// The parallel pebbling game of Sec. 3.
+///
+/// State: a pebble bit per node and a pointer `cond(x)` per node, pointing
+/// at `x` or one of its descendants. Initially only leaves carry pebbles
+/// and `cond(x) = x`. One *move* applies three synchronous parallel
+/// operations:
+///
+///   activate:  if `cond(x) == x` and some child of `x` is pebbled,
+///              `cond(x) :=` the *other* child;
+///   square:    (HLV rule) if `cond(cond(x)) != cond(x)`, set `cond(x)` to
+///              the child of `cond(x)` that is an ancestor of
+///              `cond(cond(x))` — one level down; or
+///              (Rytter rule) `cond(x) := cond(cond(x))` — full doubling;
+///   pebble:    if `x` is unpebbled but `cond(x)` is pebbled, pebble `x`.
+///
+/// Lemma 3.3: with the HLV rule the root of any full binary tree with `n`
+/// leaves is pebbled within `2 * ceil(sqrt(n))` moves. With the Rytter rule
+/// the count is O(log n) — the move-count half of the work/moves trade-off
+/// this paper makes against Rytter's algorithm.
+///
+/// All three operations are evaluated synchronously: reads see the state
+/// from before the operation (double-buffered), matching the PRAM model.
+
+#include <cstddef>
+#include <vector>
+
+#include "trees/full_binary_tree.hpp"
+
+namespace subdp::trees {
+
+/// Which square rule the game uses.
+enum class SquareRule {
+  kOneLevel,      ///< This paper's rule: descend one level per move.
+  kPathDoubling,  ///< Rytter's rule: jump to cond(cond(x)).
+};
+
+[[nodiscard]] const char* to_string(SquareRule rule) noexcept;
+
+/// Mutable game state on one (fixed) tree.
+class PebbleGame {
+ public:
+  /// The game keeps a reference to `tree`, which must outlive it.
+  explicit PebbleGame(const FullBinaryTree& tree,
+                      SquareRule rule = SquareRule::kOneLevel);
+  /// Guard against dangling references from temporaries.
+  explicit PebbleGame(FullBinaryTree&& tree,
+                      SquareRule rule = SquareRule::kOneLevel) = delete;
+
+  /// Executes one move (activate; square; pebble). Counts it.
+  void move();
+
+  /// The three phases of a move, exposed individually so tests can examine
+  /// intermediate states (e.g. invariant (b) between square and pebble).
+  /// A complete move is activate(); square(); pebble(); — only `move()`
+  /// increments the move counter, so callers driving phases manually must
+  /// not mix the two styles within one move.
+  void activate();
+  void square();
+  void pebble();
+
+  /// Plays until the root is pebbled or `max_moves` have been made.
+  /// Returns the number of moves made in this call.
+  std::size_t run_until_root(std::size_t max_moves);
+
+  [[nodiscard]] bool root_pebbled() const {
+    return pebbled_[static_cast<std::size_t>(tree_->root())];
+  }
+  [[nodiscard]] bool pebbled(NodeId x) const {
+    return pebbled_[static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] NodeId cond(NodeId x) const {
+    return cond_[static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::size_t moves_made() const noexcept { return moves_; }
+  [[nodiscard]] const FullBinaryTree& tree() const noexcept { return *tree_; }
+  [[nodiscard]] SquareRule rule() const noexcept { return rule_; }
+
+  /// Number of currently pebbled nodes.
+  [[nodiscard]] std::size_t pebble_count() const;
+
+  /// Lemma 3.3 invariant (a): after `2k` moves every node with
+  /// `size(x) <= k^2` is pebbled. Call with `k = moves_made() / 2`.
+  /// (Holds for the HLV rule; the Rytter rule is strictly faster.)
+  [[nodiscard]] bool invariant_a_holds(std::size_t k) const;
+
+  /// Lemma 3.3 invariant (b): after `2k` moves, for every unpebbled node
+  /// `x`: `size(x) - size(cond(x)) >= 2k + 1`, or no son of `cond(x)` is
+  /// pebbled, or `cond(x)` is pebbled. (HLV rule only; the paper states
+  /// the invariant as part of a proof sketch — evaluate it between the
+  /// square and pebble phases, where the synchronous reads it refers to
+  /// are still in effect.)
+  [[nodiscard]] bool invariant_b_holds(std::size_t k) const;
+
+  /// Structural sanity: `cond(x)` is always `x` or a descendant of `x`,
+  /// and pebbles are never removed.
+  [[nodiscard]] bool pointers_consistent() const;
+
+ private:
+  const FullBinaryTree* tree_;
+  SquareRule rule_;
+  std::vector<std::uint8_t> pebbled_;
+  std::vector<NodeId> cond_;
+  // Scratch double buffers reused across moves.
+  std::vector<std::uint8_t> pebbled_next_;
+  std::vector<NodeId> cond_next_;
+  std::size_t moves_ = 0;
+};
+
+}  // namespace subdp::trees

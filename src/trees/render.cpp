@@ -1,0 +1,38 @@
+#include "trees/render.hpp"
+
+#include <sstream>
+
+namespace subdp::trees {
+
+std::string render_sideways(
+    const FullBinaryTree& tree,
+    const std::function<std::string(NodeId)>& decorate) {
+  std::ostringstream os;
+  // Reverse in-order traversal (right subtree first) so the right subtree
+  // prints on top; role: 0 = root, 1 = upper (right) child, 2 = lower.
+  std::function<void(NodeId, const std::string&, int)> emit =
+      [&](NodeId x, const std::string& prefix, int role) {
+        const bool leaf = tree.is_leaf(x);
+        if (!leaf) {
+          emit(tree.right(x),
+               prefix + (role == 2 ? "|   " : "    "), 1);
+        }
+        os << prefix;
+        if (role == 1) {
+          os << ".-- ";
+        } else if (role == 2) {
+          os << "`-- ";
+        }
+        os << '(' << tree.lo(x) << ',' << tree.hi(x) << ')';
+        if (decorate) os << ' ' << decorate(x);
+        os << '\n';
+        if (!leaf) {
+          emit(tree.left(x),
+               prefix + (role == 1 ? "|   " : "    "), 2);
+        }
+      };
+  emit(tree.root(), "", 0);
+  return os.str();
+}
+
+}  // namespace subdp::trees

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file render.hpp
+/// ASCII rendering of small trees, used by the pebbling playground example
+/// and by test failure diagnostics.
+
+#include <functional>
+#include <string>
+
+#include "trees/full_binary_tree.hpp"
+
+namespace subdp::trees {
+
+/// Renders the tree sideways (root at the left, right subtree on top).
+/// `decorate(x)` supplies a short annotation appended to each node's
+/// `(lo,hi)` label — e.g. pebble / cond markers. Intended for trees with at
+/// most a few dozen leaves.
+[[nodiscard]] std::string render_sideways(
+    const FullBinaryTree& tree,
+    const std::function<std::string(NodeId)>& decorate = nullptr);
+
+}  // namespace subdp::trees

@@ -1,0 +1,239 @@
+// Tests for the two pw-table layouts (core/pw_dense.hpp,
+// core/pw_banded.hpp): addressing, band semantics, the Sec. 5 cell-count
+// reduction, and dense/banded agreement inside the band.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pw_banded.hpp"
+#include "core/pw_dense.hpp"
+#include "support/stats.hpp"
+
+namespace subdp::core {
+namespace {
+
+TEST(DensePwTable, IdentityGapIsZero) {
+  DensePwTable t(6);
+  EXPECT_EQ(t.get(1, 4, 1, 4), 0);
+  EXPECT_EQ(t.get(0, 6, 0, 6), 0);
+  EXPECT_EQ(t.get(2, 3, 2, 3), 0);  // leaf identity
+}
+
+TEST(DensePwTable, UnwrittenEntriesAreInfinite) {
+  DensePwTable t(6);
+  EXPECT_EQ(t.get(0, 6, 2, 4), kInfinity);
+  EXPECT_EQ(t.get(1, 5, 1, 2), kInfinity);
+}
+
+TEST(DensePwTable, SetThenGetRoundTrips) {
+  DensePwTable t(8);
+  t.set(0, 8, 3, 5, 42);
+  t.set(1, 7, 1, 6, 17);
+  EXPECT_EQ(t.get(0, 8, 3, 5), 42);
+  EXPECT_EQ(t.get(1, 7, 1, 6), 17);
+  EXPECT_EQ(t.get(0, 8, 3, 6), kInfinity);  // neighbours untouched
+}
+
+TEST(DensePwTable, EntryCountMatchesClosedForm) {
+  // Per (i,j) of length L: C(L+1,2) - 1 gaps.
+  for (const std::size_t n : {2u, 3u, 5u, 9u}) {
+    DensePwTable t(n);
+    std::size_t expected = 0;
+    for (std::size_t len = 2; len <= n; ++len) {
+      expected += (n - len + 1) * (len * (len + 1) / 2 - 1);
+    }
+    EXPECT_EQ(t.entry_count(), expected) << "n=" << n;
+    EXPECT_EQ(t.entries().size(), expected);
+  }
+}
+
+TEST(DensePwTable, EntriesAreUniqueAndValid) {
+  DensePwTable t(7);
+  std::set<std::uint64_t> seen;
+  for (const Quad& e : t.entries()) {
+    EXPECT_LE(e.i, e.p);
+    EXPECT_LT(e.p, e.q);
+    EXPECT_LE(e.q, e.j);
+    EXPECT_FALSE(e.p == e.i && e.q == e.j);
+    EXPECT_TRUE(seen.insert(t.address(e.i, e.j, e.p, e.q)).second);
+  }
+}
+
+TEST(DensePwTable, RejectsOversizedN) {
+  EXPECT_THROW(DensePwTable t(DensePwTable::kMaxDenseN + 1),
+               std::invalid_argument);
+}
+
+TEST(DensePwTable, ResetRestoresInfinity) {
+  DensePwTable t(5);
+  t.set(0, 5, 1, 3, 9);
+  t.reset();
+  EXPECT_EQ(t.get(0, 5, 1, 3), kInfinity);
+}
+
+TEST(DensePwTable, CopyFromDuplicatesContents) {
+  DensePwTable a(5), b(5);
+  a.set(0, 5, 2, 4, 7);
+  b.copy_from(a);
+  EXPECT_EQ(b.get(0, 5, 2, 4), 7);
+  a.set(0, 5, 2, 4, 9);
+  EXPECT_EQ(b.get(0, 5, 2, 4), 7);  // deep copy
+}
+
+// ---- Banded ----
+
+TEST(BandedPwTable, InBandBehavesLikeDense) {
+  BandedPwTable t(10, 4);
+  EXPECT_EQ(t.get(0, 10, 0, 10), 0);           // identity
+  EXPECT_EQ(t.get(2, 8, 3, 7), kInfinity);     // slack 2, unwritten
+  t.set(2, 8, 3, 7, 55);                       // slack 2 <= 4
+  EXPECT_EQ(t.get(2, 8, 3, 7), 55);
+}
+
+TEST(BandedPwTable, OutOfBandInteriorReadsAreInfinite) {
+  BandedPwTable t(10, 2);
+  // slack (10-0)-(4-3) = 9 > 2 and the gap touches neither endpoint.
+  EXPECT_FALSE(t.stores(0, 10, 3, 4));
+  EXPECT_EQ(t.get(0, 10, 3, 4), kInfinity);
+}
+
+TEST(BandedPwTable, OutOfBandChildGapsAreStored) {
+  // The terminal pebble of a balanced node needs activate-form entries of
+  // any slack: gaps sharing an endpoint with the root stay materialised.
+  BandedPwTable t(10, 2);
+  EXPECT_TRUE(t.stores(0, 10, 0, 5));  // left child gap, slack 5 > B
+  EXPECT_TRUE(t.stores(0, 10, 5, 10));  // right child gap, slack 5 > B
+  t.set(0, 10, 0, 5, 21);
+  t.set(0, 10, 5, 10, 22);  // same split, different family: no collision
+  EXPECT_EQ(t.get(0, 10, 0, 5), 21);
+  EXPECT_EQ(t.get(0, 10, 5, 10), 22);
+}
+
+TEST(BandedPwTable, StoresBandPlusChildGaps) {
+  const std::size_t n = 9, band = 3;
+  BandedPwTable t(n, band);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      for (std::size_t p = i; p < j; ++p) {
+        for (std::size_t q = p + 1; q <= j; ++q) {
+          if (p == i && q == j) continue;
+          const bool in_band = (j - i) - (q - p) <= band;
+          const bool child_gap = p == i || q == j;
+          EXPECT_EQ(t.stores(i, j, p, q), in_band || child_gap);
+          if (in_band || child_gap) ++expected;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(t.entry_count(), expected);
+}
+
+TEST(BandedPwTable, AddressingIsInjective) {
+  const std::size_t n = 12, band = 5;
+  BandedPwTable t(n, band);
+  std::set<std::uint64_t> seen;
+  // Every stored entry (in-band plus child gaps) has a distinct address.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      for (std::size_t p = i; p < j; ++p) {
+        for (std::size_t q = p + 1; q <= j; ++q) {
+          if (p == i && q == j) continue;
+          if (!t.stores(i, j, p, q)) continue;
+          EXPECT_TRUE(seen.insert(t.address(i, j, p, q)).second)
+              << "(" << i << "," << j << "," << p << "," << q << ")";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), t.entry_count());
+}
+
+TEST(BandedPwTable, RoundTripsEveryStoredEntry) {
+  const std::size_t n = 11, band = 4;
+  BandedPwTable t(n, band);
+  Cost v = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      for (std::size_t p = i; p < j; ++p) {
+        for (std::size_t q = p + 1; q <= j; ++q) {
+          if ((p == i && q == j) || !t.stores(i, j, p, q)) continue;
+          t.set(i, j, p, q, v++);
+        }
+      }
+    }
+  }
+  v = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      for (std::size_t p = i; p < j; ++p) {
+        for (std::size_t q = p + 1; q <= j; ++q) {
+          if ((p == i && q == j) || !t.stores(i, j, p, q)) continue;
+          ASSERT_EQ(t.get(i, j, p, q), v++);
+        }
+      }
+    }
+  }
+}
+
+TEST(BandedPwTable, ForEachGapEnumeratesExactlyTheStoredGaps) {
+  const std::size_t n = 10, band = 3;
+  BandedPwTable t(n, band);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      std::set<std::pair<std::size_t, std::size_t>> enumerated;
+      t.for_each_gap(i, j, [&](std::size_t p, std::size_t q) {
+        EXPECT_TRUE(enumerated.emplace(p, q).second)
+            << "duplicate gap (" << p << "," << q << ")";
+        EXPECT_TRUE(t.stores(i, j, p, q));
+      });
+      std::size_t stored = 0;
+      for (std::size_t p = i; p < j; ++p) {
+        for (std::size_t q = p + 1; q <= j; ++q) {
+          if ((p == i && q == j) || !t.stores(i, j, p, q)) continue;
+          ++stored;
+        }
+      }
+      EXPECT_EQ(enumerated.size(), stored) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(BandedPwTable, CellCountIsQuadraticallySmallerThanDense) {
+  // Sec. 5: O(n^2 B^2) vs O(n^4) meaningful entries. Compare against the
+  // closed-form dense count so we do not have to allocate the dense cube.
+  auto dense_entries = [](std::size_t n) {
+    std::size_t total = 0;
+    for (std::size_t len = 2; len <= n; ++len) {
+      total += (n - len + 1) * (len * (len + 1) / 2 - 1);
+    }
+    return total;
+  };
+  const std::size_t n = 128;
+  BandedPwTable banded(n, support::two_ceil_sqrt(n));
+  EXPECT_LT(banded.entry_count() * 3, dense_entries(n));
+  // The ratio widens with n (~ n/B^2-fold):
+  const std::size_t m = 48;
+  BandedPwTable banded_small(m, support::two_ceil_sqrt(m));
+  const double ratio_small =
+      static_cast<double>(dense_entries(m)) /
+      static_cast<double>(banded_small.entry_count());
+  const double ratio_large = static_cast<double>(dense_entries(n)) /
+                             static_cast<double>(banded.entry_count());
+  EXPECT_GT(ratio_large, ratio_small);
+}
+
+TEST(BandedPwTable, WideBandCoversEverything) {
+  const std::size_t n = 8;
+  BandedPwTable banded(n, n);
+  DensePwTable dense(n);
+  EXPECT_EQ(banded.entry_count(), dense.entry_count());
+}
+
+TEST(BandedPwTable, RejectsZeroBand) {
+  EXPECT_THROW(BandedPwTable(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace subdp::core

@@ -1,0 +1,198 @@
+// Tests of the stepping interface and per-iteration semantics of the
+// engine: monotone relaxation of both tables, idempotence beyond the
+// fixed point, trace bookkeeping, accessor contracts, and option
+// validation — the machinery the co-simulation and the Sec. 7
+// experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include "core/sublinear_solver.hpp"
+#include "dp/matrix_chain.hpp"
+#include "dp/optimal_bst.hpp"
+#include "dp/sequential.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace subdp::core {
+namespace {
+
+TEST(Stepping, PwValuesAreMonotoneNonincreasing) {
+  support::Rng rng(401);
+  const std::size_t n = 12;
+  const auto p = dp::MatrixChainProblem::random(n, rng);
+  SublinearOptions options;
+  options.variant = PwVariant::kDense;
+  SublinearSolver solver(options);
+  solver.prepare(p);
+
+  // Snapshot all pw values each iteration; they may only decrease.
+  std::vector<Cost> prev;
+  const auto snapshot = [&] {
+    std::vector<Cost> values;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 2; j <= n; ++j) {
+        for (std::size_t pp = i; pp < j; ++pp) {
+          for (std::size_t q = pp + 1; q <= j; ++q) {
+            if (pp == i && q == j) continue;
+            values.push_back(solver.current_pw(i, j, pp, q));
+          }
+        }
+      }
+    }
+    return values;
+  };
+  prev = snapshot();
+  for (std::size_t iter = 0; iter < support::two_ceil_sqrt(n); ++iter) {
+    (void)solver.step();
+    const auto now = snapshot();
+    ASSERT_EQ(now.size(), prev.size());
+    for (std::size_t c = 0; c < now.size(); ++c) {
+      ASSERT_LE(now[c], prev[c]) << "pw cell " << c << " increased";
+    }
+    prev = now;
+  }
+}
+
+TEST(Stepping, WValuesAreMonotoneNonincreasing) {
+  support::Rng rng(402);
+  const std::size_t n = 16;
+  const auto p = dp::OptimalBstProblem::random(n - 1, rng);
+  SublinearSolver solver;
+  solver.prepare(p);
+  support::Grid2D<Cost> prev(n + 1, n + 1, kInfinity);
+  for (std::size_t i = 0; i < n; ++i) prev(i, i + 1) = p.init(i);
+  for (std::size_t iter = 0; iter < support::two_ceil_sqrt(n); ++iter) {
+    (void)solver.step();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j <= n; ++j) {
+        ASSERT_LE(solver.current_w(i, j), prev(i, j));
+        prev(i, j) = solver.current_w(i, j);
+      }
+    }
+  }
+}
+
+TEST(Stepping, IterationsBeyondTheFixedPointChangeNothing) {
+  support::Rng rng(403);
+  const std::size_t n = 14;
+  const auto p = dp::MatrixChainProblem::random(n, rng);
+  SublinearSolver solver;
+  solver.prepare(p);
+  // Drive to the fixed point.
+  std::size_t guard = 0;
+  while (solver.step().any_changed()) {
+    ASSERT_LT(++guard, 100u);
+  }
+  // Extra iterations must be perfectly quiet.
+  for (int extra = 0; extra < 3; ++extra) {
+    const auto out = solver.step();
+    EXPECT_EQ(out.activate_changed, 0u);
+    EXPECT_EQ(out.square_changed, 0u);
+    EXPECT_EQ(out.pebble_changed, 0u);
+  }
+  EXPECT_EQ(solver.current_w(0, n), dp::solve_sequential(p).cost);
+}
+
+TEST(Stepping, OutcomeCountsMatchTraceEntries) {
+  support::Rng rng(404);
+  const auto p = dp::MatrixChainProblem::random(10, rng);
+  SublinearSolver solver;
+  solver.prepare(p);
+  for (int iter = 0; iter < 5; ++iter) {
+    const auto out = solver.step();
+    (void)out;
+  }
+  const auto result = solver.finish();
+  ASSERT_EQ(result.trace.size(), 5u);
+  for (std::size_t t = 0; t < result.trace.size(); ++t) {
+    EXPECT_EQ(result.trace[t].iteration, t + 1);
+  }
+  EXPECT_EQ(result.iterations, 5u);
+}
+
+TEST(Stepping, FinishIsRepeatableAndConsistent) {
+  support::Rng rng(405);
+  const auto p = dp::MatrixChainProblem::random(12, rng);
+  SublinearSolver solver;
+  const auto direct = solver.solve(p);
+  // finish() after solve() re-packages the same state.
+  const auto again = solver.finish();
+  EXPECT_EQ(direct.cost, again.cost);
+  EXPECT_TRUE(direct.w == again.w);
+  EXPECT_EQ(direct.iterations, again.iterations);
+}
+
+TEST(Stepping, AccessorsRejectBadCoordinates) {
+  support::Rng rng(406);
+  const auto p = dp::MatrixChainProblem::random(8, rng);
+  SublinearSolver solver;
+  solver.prepare(p);
+  EXPECT_THROW((void)solver.current_w(3, 3), std::invalid_argument);
+  EXPECT_THROW((void)solver.current_w(0, 9), std::invalid_argument);
+  EXPECT_THROW((void)solver.current_pw(2, 6, 1, 4), std::invalid_argument);
+  EXPECT_THROW((void)solver.current_pw(0, 8, 4, 4), std::invalid_argument);
+}
+
+TEST(Stepping, IdentityPwIsAlwaysZero) {
+  support::Rng rng(407);
+  const auto p = dp::MatrixChainProblem::random(9, rng);
+  SublinearSolver solver;
+  solver.prepare(p);
+  (void)solver.step();
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = i + 1; j <= 9; ++j) {
+      EXPECT_EQ(solver.current_pw(i, j, i, j), 0);
+    }
+  }
+}
+
+TEST(Stepping, EffectiveBandDefaultsToPaperChoice) {
+  support::Rng rng(408);
+  const auto p = dp::MatrixChainProblem::random(20, rng);
+  SublinearSolver solver;
+  solver.prepare(p);
+  EXPECT_EQ(solver.effective_band(), support::two_ceil_sqrt(20));
+  EXPECT_EQ(solver.iteration_bound(), support::two_ceil_sqrt(20));
+
+  SublinearOptions custom;
+  custom.band_width = 5;
+  SublinearSolver s2(custom);
+  s2.prepare(p);
+  EXPECT_EQ(s2.effective_band(), 5u);
+}
+
+TEST(Stepping, BandIsClampedToN) {
+  support::Rng rng(409);
+  const auto p = dp::MatrixChainProblem::random(4, rng);
+  SublinearOptions options;
+  options.band_width = 1000;
+  SublinearSolver solver(options);
+  solver.prepare(p);
+  EXPECT_EQ(solver.effective_band(), 4u);
+  EXPECT_EQ(solver.solve(p).cost, dp::solve_sequential(p).cost);
+}
+
+TEST(Stepping, MachineLedgerGrowsPerStep) {
+  support::Rng rng(410);
+  const auto p = dp::MatrixChainProblem::random(10, rng);
+  SublinearSolver solver;
+  solver.prepare(p);
+  const auto before = solver.machine().costs().step_count();
+  (void)solver.step();
+  EXPECT_EQ(solver.machine().costs().step_count(), before + 3);
+}
+
+TEST(Stepping, PrepareResetsStateBetweenInstances) {
+  support::Rng rng(411);
+  const auto a = dp::MatrixChainProblem::random(10, rng);
+  const auto b = dp::MatrixChainProblem::random(10, rng);
+  SublinearSolver solver;
+  const auto ra = solver.solve(a);
+  const auto rb = solver.solve(b);
+  // Fresh ledger per solve and fresh state (independent results).
+  EXPECT_EQ(rb.cost, dp::solve_sequential(b).cost);
+  EXPECT_EQ(ra.cost, dp::solve_sequential(a).cost);
+}
+
+}  // namespace
+}  // namespace subdp::core

@@ -1,0 +1,86 @@
+// Tests for the Knuth O(n^2) speedup (dp/knuth.hpp): applicability
+// checkers and equality with the O(n^3) baseline where the quadrangle
+// inequality holds.
+
+#include "dp/knuth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dp/matrix_chain.hpp"
+#include "dp/optimal_bst.hpp"
+#include "dp/sequential.hpp"
+#include "dp/tabulated.hpp"
+#include "support/rng.hpp"
+
+namespace subdp::dp {
+namespace {
+
+TEST(Knuth, BstIsKIndependent) {
+  support::Rng rng(31);
+  EXPECT_TRUE(is_k_independent(OptimalBstProblem::random(10, rng)));
+}
+
+TEST(Knuth, MatrixChainIsNotKIndependent) {
+  // Generic dims make f depend on k.
+  const MatrixChainProblem p({2, 3, 5, 7, 11});
+  EXPECT_FALSE(is_k_independent(p));
+}
+
+TEST(Knuth, BstSatisfiesQuadrangleInequality) {
+  support::Rng rng(32);
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_TRUE(
+        satisfies_quadrangle_inequality(OptimalBstProblem::random(8, rng)));
+  }
+}
+
+TEST(Knuth, QiCheckerRejectsCraftedViolation) {
+  // A k-independent w that violates QI: w(0,2)=5, w(1,3)=5, w(1,2)=0,
+  // w(0,3)=0 -> w(0,2)+w(1,3)=10 > w(1,2)+w(0,3)=0.
+  TabulatedProblem p(3, "qi-violator");
+  p.set_f(0, 1, 2, 5);
+  p.set_f(1, 2, 3, 5);
+  // w(0,3) stays 0 for both k values.
+  EXPECT_TRUE(is_k_independent(p));
+  EXPECT_FALSE(satisfies_quadrangle_inequality(p));
+}
+
+TEST(Knuth, MatchesSequentialOnClrsBst) {
+  const auto p = OptimalBstProblem::clrs_example();
+  EXPECT_EQ(solve_knuth(p).cost, solve_sequential(p).cost);
+}
+
+TEST(Knuth, MatchesSequentialOnRandomBsts) {
+  support::Rng rng(33);
+  for (std::size_t keys = 1; keys <= 24; ++keys) {
+    const auto p = OptimalBstProblem::random(keys, rng);
+    const auto fast = solve_knuth(p);
+    const auto slow = solve_sequential(p);
+    ASSERT_EQ(fast.cost, slow.cost) << "keys=" << keys;
+    // Every cell must agree, not just the root.
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      for (std::size_t j = i + 1; j <= p.size(); ++j) {
+        ASSERT_EQ(fast.c(i, j), slow.c(i, j))
+            << "keys=" << keys << " cell (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Knuth, DoesQuadraticallyLessWorkThanSequential) {
+  support::Rng rng(34);
+  const auto p = OptimalBstProblem::random(60, rng);
+  std::uint64_t fast_ops = 0, slow_ops = 0;
+  (void)solve_knuth(p, &fast_ops);
+  (void)solve_sequential(p, &slow_ops);
+  // Knuth: O(n^2) candidate evaluations; sequential: Theta(n^3)/6.
+  EXPECT_LT(fast_ops * 4, slow_ops);
+}
+
+TEST(Knuth, ZeroWeightDegenerateStillCorrect) {
+  const OptimalBstProblem p({0, 0, 0}, {0, 0, 0, 0});
+  EXPECT_EQ(solve_knuth(p).cost, 0);
+}
+
+}  // namespace
+}  // namespace subdp::dp

@@ -1,0 +1,200 @@
+// Tests for the problem instances (dp/matrix_chain.hpp, dp/optimal_bst.hpp,
+// dp/polygon_triangulation.hpp, dp/tabulated.hpp): textbook answers,
+// structural invariants, and the tabulation round trip.
+
+#include <gtest/gtest.h>
+
+#include "dp/brute_force.hpp"
+#include "dp/matrix_chain.hpp"
+#include "dp/optimal_bst.hpp"
+#include "dp/polygon_triangulation.hpp"
+#include "dp/sequential.hpp"
+#include "dp/tabulated.hpp"
+#include "support/rng.hpp"
+
+namespace subdp::dp {
+namespace {
+
+// ---- Matrix chain ----
+
+TEST(MatrixChain, ClrsExampleCosts15125) {
+  const auto p = MatrixChainProblem::clrs_example();
+  EXPECT_EQ(p.size(), 6u);
+  EXPECT_EQ(solve_sequential(p).cost, 15125);
+}
+
+TEST(MatrixChain, SingleMatrixCostsNothing) {
+  const MatrixChainProblem p({10, 20});
+  EXPECT_EQ(solve_sequential(p).cost, 0);
+}
+
+TEST(MatrixChain, TwoMatricesCostOneProduct) {
+  const MatrixChainProblem p({10, 20, 30});
+  EXPECT_EQ(solve_sequential(p).cost, 10 * 20 * 30);
+}
+
+TEST(MatrixChain, FMatchesDimsProduct) {
+  const MatrixChainProblem p({2, 3, 5, 7});
+  EXPECT_EQ(p.f(0, 1, 2), 2 * 3 * 5);
+  EXPECT_EQ(p.f(0, 2, 3), 2 * 5 * 7);
+  EXPECT_EQ(p.f(1, 2, 3), 3 * 5 * 7);
+  EXPECT_EQ(p.init(0), 0);
+}
+
+TEST(MatrixChain, RejectsBadDimensions) {
+  EXPECT_THROW(MatrixChainProblem({10}), std::invalid_argument);
+  EXPECT_THROW(MatrixChainProblem({10, 0, 5}), std::invalid_argument);
+}
+
+TEST(MatrixChain, RandomGeneratorRespectsBounds) {
+  support::Rng rng(1);
+  const auto p = MatrixChainProblem::random(12, rng, 9);
+  EXPECT_EQ(p.size(), 12u);
+  for (const Cost d : p.dims()) {
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 9);
+  }
+}
+
+// ---- Optimal BST ----
+
+TEST(OptimalBst, ClrsExampleMatches) {
+  // CLRS Fig. 15.10 instance (weights x100): their expected search cost is
+  // 2.75, counting one comparison for reaching each dummy leaf. Our
+  // recurrence charges gap weights once per *internal* ancestor, so
+  // c(0,n) = 275 - sum(q) = 275 - 40 = 235.
+  const auto p = OptimalBstProblem::clrs_example();
+  EXPECT_EQ(p.size(), 6u);  // 5 keys -> 6 gap objects
+  EXPECT_EQ(solve_sequential(p).cost, 235);
+}
+
+TEST(OptimalBst, SingleKeyCostIsTotalWeight) {
+  const OptimalBstProblem p({7}, {2, 3});
+  // One key at the root: c = p1 + q0 + q1.
+  EXPECT_EQ(solve_sequential(p).cost, 12);
+}
+
+TEST(OptimalBst, FIsIndependentOfSplit) {
+  support::Rng rng(5);
+  const auto p = OptimalBstProblem::random(8, rng);
+  const std::size_t n = p.size();
+  for (std::size_t i = 0; i + 2 <= n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      const Cost first = p.f(i, i + 1, j);
+      for (std::size_t k = i + 1; k < j; ++k) {
+        EXPECT_EQ(p.f(i, k, j), first);
+      }
+    }
+  }
+}
+
+TEST(OptimalBst, TotalWeightIsPrefixConsistent) {
+  const OptimalBstProblem p({1, 2, 3}, {10, 20, 30, 40});
+  // W(0,4) = all gaps + all keys.
+  EXPECT_EQ(p.total_weight(0, 4), 100 + 6);
+  // W(1,3) = gaps q1,q2 + key p2.
+  EXPECT_EQ(p.total_weight(1, 3), 20 + 30 + 2);
+  // W(0,1) = gap q0 only (no keys inside).
+  EXPECT_EQ(p.total_weight(0, 1), 10);
+}
+
+TEST(OptimalBst, SkewedWeightsProduceSkewedTree) {
+  // Heavily weighting the first key forces it to the root.
+  const OptimalBstProblem p({100, 1, 1}, {0, 0, 0, 0});
+  const auto result = solve_sequential(p);
+  EXPECT_EQ(result.split(0, 4), 1);  // key 1 is the root
+}
+
+TEST(OptimalBst, RejectsBadShapes) {
+  EXPECT_THROW(OptimalBstProblem({}, {1}), std::invalid_argument);
+  EXPECT_THROW(OptimalBstProblem({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(OptimalBstProblem({1}, {1, -2}), std::invalid_argument);
+}
+
+// ---- Polygon triangulation ----
+
+TEST(PolygonTriangulation, TriangleNeedsNoDiagonal) {
+  // 3 vertices = 2 sides: a single decomposition, cost = the one triangle.
+  const auto p = PolygonTriangulationProblem::weight_product({2, 3, 5});
+  EXPECT_EQ(solve_sequential(p).cost, 2 * 3 * 5);
+}
+
+TEST(PolygonTriangulation, QuadrilateralPicksCheaperDiagonal) {
+  // Vertices 1, 9, 2, 3: diagonals (v0,v2) vs (v1,v3):
+  //   split at k=1 then k=2 ... two triangulations:
+  //   {v0v1v2, v0v2v3} = 18 + 6 = 24;  {v0v1v3, v1v2v3} = 27 + 54 = 81.
+  const auto p = PolygonTriangulationProblem::weight_product({1, 9, 2, 3});
+  EXPECT_EQ(solve_sequential(p).cost, 24);
+}
+
+TEST(PolygonTriangulation, PerimeterModelCountsScaledLengths) {
+  // Unit right triangle: perimeter 2 + sqrt(2), scaled by 1000.
+  const auto p = PolygonTriangulationProblem::perimeter(
+      {{0, 0}, {1, 0}, {0, 1}}, 1000.0);
+  EXPECT_EQ(solve_sequential(p).cost, 3414);  // 1000*(2 + 1.41421356)
+}
+
+TEST(PolygonTriangulation, PerimeterMatchesBruteForceOnRandomPolygon) {
+  support::Rng rng(11);
+  const auto p = PolygonTriangulationProblem::random_convex(8, rng);
+  EXPECT_EQ(solve_sequential(p).cost, brute_force_cost(p));
+}
+
+TEST(PolygonTriangulation, RejectsTooFewVertices) {
+  EXPECT_THROW((void)PolygonTriangulationProblem::weight_product({1, 2}),
+               std::invalid_argument);
+}
+
+// ---- Tabulated ----
+
+TEST(Tabulated, RoundTripsMatrixChain) {
+  support::Rng rng(13);
+  const auto original = MatrixChainProblem::random(10, rng);
+  const auto tab = TabulatedProblem::from(original);
+  EXPECT_EQ(tab.size(), original.size());
+  EXPECT_EQ(tab.name(), original.name());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(tab.init(i), original.init(i));
+  }
+  for (std::size_t i = 0; i + 2 <= original.size(); ++i) {
+    for (std::size_t j = i + 2; j <= original.size(); ++j) {
+      for (std::size_t k = i + 1; k < j; ++k) {
+        EXPECT_EQ(tab.f(i, k, j), original.f(i, k, j));
+      }
+    }
+  }
+}
+
+TEST(Tabulated, FromFunctionsEvaluatesCallables) {
+  const auto tab = TabulatedProblem::from_functions(
+      4, "custom", [](std::size_t i) { return static_cast<Cost>(i + 1); },
+      [](std::size_t i, std::size_t k, std::size_t j) {
+        return static_cast<Cost>(i * 100 + k * 10 + j);
+      });
+  EXPECT_EQ(tab.init(2), 3);
+  EXPECT_EQ(tab.f(0, 1, 2), 12);
+  EXPECT_EQ(tab.f(1, 2, 4), 124);
+}
+
+TEST(Tabulated, SettersValidateRanges) {
+  TabulatedProblem tab(4, "t");
+  tab.set_f(0, 1, 2, 5);
+  EXPECT_EQ(tab.f(0, 1, 2), 5);
+  EXPECT_THROW(tab.set_f(0, 0, 2, 5), std::invalid_argument);
+  EXPECT_THROW(tab.set_f(0, 2, 2, 5), std::invalid_argument);
+  EXPECT_THROW(tab.set_f(0, 1, 5, 5), std::invalid_argument);
+  EXPECT_THROW(tab.set_f(0, 1, 2, -1), std::invalid_argument);
+  EXPECT_THROW(tab.set_init(4, 1), std::invalid_argument);
+}
+
+TEST(Tabulated, SolvesIdenticallyToOriginal) {
+  support::Rng rng(17);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto original = MatrixChainProblem::random(14, rng);
+    const auto tab = TabulatedProblem::from(original);
+    EXPECT_EQ(solve_sequential(tab).cost, solve_sequential(original).cost);
+  }
+}
+
+}  // namespace
+}  // namespace subdp::dp

@@ -1,0 +1,127 @@
+// Tests for the sequential O(n^3) baseline (dp/sequential.hpp), the result
+// validator, tree extraction, and agreement with the exponential oracle.
+
+#include "dp/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dp/brute_force.hpp"
+#include "dp/matrix_chain.hpp"
+#include "dp/optimal_bst.hpp"
+#include "dp/polygon_triangulation.hpp"
+#include "dp/tables.hpp"
+#include "support/rng.hpp"
+
+namespace subdp::dp {
+namespace {
+
+TEST(Sequential, MatchesBruteForceOnRandomMatrixChains) {
+  support::Rng rng(21);
+  for (std::size_t n = 1; n <= 10; ++n) {
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto p = MatrixChainProblem::random(n, rng, 12);
+      EXPECT_EQ(solve_sequential(p).cost, brute_force_cost(p))
+          << "n=" << n << " rep=" << rep;
+    }
+  }
+}
+
+TEST(Sequential, MatchesBruteForceOnRandomBsts) {
+  support::Rng rng(22);
+  for (std::size_t keys = 1; keys <= 9; ++keys) {
+    const auto p = OptimalBstProblem::random(keys, rng);
+    EXPECT_EQ(solve_sequential(p).cost, brute_force_cost(p));
+  }
+}
+
+TEST(Sequential, ResultTableValidates) {
+  support::Rng rng(23);
+  const auto p = MatrixChainProblem::random(20, rng);
+  const auto result = solve_sequential(p);
+  EXPECT_TRUE(validate_result(p, result));
+}
+
+TEST(Sequential, OpsCountIsExactlyTheTripleCount) {
+  support::Rng rng(24);
+  const std::size_t n = 17;
+  const auto p = MatrixChainProblem::random(n, rng);
+  std::uint64_t ops = 0;
+  (void)solve_sequential(p, &ops);
+  // sum over len of (n-len+1)(len-1) = n(n^2-1)/6 triples.
+  EXPECT_EQ(ops, static_cast<std::uint64_t>(n) * (n * n - 1) / 6);
+}
+
+TEST(Sequential, ExtractedTreeRealizesTheOptimalCost) {
+  support::Rng rng(25);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto p = MatrixChainProblem::random(15, rng);
+    const auto result = solve_sequential(p);
+    const auto tree = extract_tree(result);
+    EXPECT_TRUE(tree.validate());
+    EXPECT_EQ(tree.leaf_count(), p.size());
+    EXPECT_EQ(tree_weight(p, tree), result.cost);
+  }
+}
+
+TEST(Sequential, ExtractTreeFromWMatchesSplitExtraction) {
+  support::Rng rng(26);
+  const auto p = MatrixChainProblem::random(12, rng);
+  const auto result = solve_sequential(p);
+  const auto from_w = extract_tree_from_w(p, result.c);
+  EXPECT_TRUE(from_w.validate());
+  EXPECT_EQ(tree_weight(p, from_w), result.cost);
+}
+
+TEST(Sequential, ExtractTreeFromWRejectsNonFixedPoint) {
+  support::Rng rng(27);
+  const auto p = MatrixChainProblem::random(8, rng);
+  auto result = solve_sequential(p);
+  result.c(0, p.size()) -= 1;  // corrupt the root cell
+  EXPECT_THROW((void)extract_tree_from_w(p, result.c),
+               std::invalid_argument);
+}
+
+TEST(Sequential, ValidatorCatchesCorruptedCost) {
+  support::Rng rng(28);
+  const auto p = MatrixChainProblem::random(10, rng);
+  auto result = solve_sequential(p);
+  result.c(0, 5) += 1;
+  EXPECT_FALSE(validate_result(p, result));
+}
+
+TEST(Sequential, ValidatorCatchesCorruptedSplit) {
+  support::Rng rng(29);
+  const auto p = OptimalBstProblem::random(9, rng);
+  auto result = solve_sequential(p);
+  result.split(0, p.size()) = 0;  // out of range
+  EXPECT_FALSE(validate_result(p, result));
+}
+
+TEST(Sequential, TrivialSizes) {
+  const MatrixChainProblem one({3, 4});
+  const auto r1 = solve_sequential(one);
+  EXPECT_EQ(r1.cost, 0);
+
+  const MatrixChainProblem two({3, 4, 5});
+  const auto r2 = solve_sequential(two);
+  EXPECT_EQ(r2.cost, 60);
+  EXPECT_EQ(r2.split(0, 2), 1);
+}
+
+TEST(BruteForce, RefusesLargeInstances) {
+  support::Rng rng(30);
+  const auto p = MatrixChainProblem::random(17, rng);
+  EXPECT_THROW((void)brute_force_cost(p), std::invalid_argument);
+}
+
+TEST(BruteForce, CatalanCounts) {
+  EXPECT_EQ(parenthesization_count(1), 1);
+  EXPECT_EQ(parenthesization_count(2), 1);
+  EXPECT_EQ(parenthesization_count(3), 2);
+  EXPECT_EQ(parenthesization_count(4), 5);
+  EXPECT_EQ(parenthesization_count(5), 14);
+  EXPECT_EQ(parenthesization_count(11), 16796);
+}
+
+}  // namespace
+}  // namespace subdp::dp

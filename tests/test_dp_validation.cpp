@@ -1,0 +1,152 @@
+// Tests for the result-validation utilities (dp/tables.hpp): tree
+// weights, extraction edge cases, and a parameterized corruption sweep
+// showing the validator catches every class of damage.
+
+#include <gtest/gtest.h>
+
+#include "dp/matrix_chain.hpp"
+#include "dp/optimal_bst.hpp"
+#include "dp/sequential.hpp"
+#include "dp/tables.hpp"
+#include "support/rng.hpp"
+#include "trees/generators.hpp"
+
+namespace subdp::dp {
+namespace {
+
+TEST(TreeWeight, LeafOnlyTree) {
+  const MatrixChainProblem p({3, 7});
+  const auto tree = trees::FullBinaryTree::build(1, {});
+  EXPECT_EQ(tree_weight(p, tree), p.init(0));
+}
+
+TEST(TreeWeight, HandComputedSmallTree) {
+  // dims {2,3,4,5}: tree ((A1A2)A3) costs f(0,2,3) + f(0,1,2)
+  //                = 2*4*5 + 2*3*4 = 64.
+  const MatrixChainProblem p({2, 3, 4, 5});
+  const auto tree = trees::FullBinaryTree::build(
+      3, [](std::size_t lo, std::size_t hi, std::size_t) {
+        return lo == 0 && hi == 3 ? 2u : lo + 1;
+      });
+  EXPECT_EQ(tree_weight(p, tree), 64);
+}
+
+TEST(TreeWeight, SuboptimalTreeWeighsMore) {
+  support::Rng rng(501);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto p = MatrixChainProblem::random(10, rng);
+    const auto optimal = solve_sequential(p);
+    // Any fixed shape is a valid decomposition; it can't beat the optimum.
+    const auto skewed = trees::make_tree(trees::TreeShape::kLeftSkewed, 10);
+    EXPECT_GE(tree_weight(p, skewed), optimal.cost);
+  }
+}
+
+TEST(TreeWeight, AgreesWithCostForExtractedTrees) {
+  support::Rng rng(502);
+  for (const std::size_t n : {2u, 5u, 9u, 17u}) {
+    const auto p = OptimalBstProblem::random(n, rng);
+    const auto result = solve_sequential(p);
+    EXPECT_EQ(tree_weight(p, extract_tree(result)), result.cost);
+  }
+}
+
+enum class Corruption {
+  kRootCost,
+  kInteriorCost,
+  kLeafCost,
+  kSplitOutOfRange,
+  kSplitSuboptimal,
+  kTotalCostField,
+};
+
+class ValidatorTest : public ::testing::TestWithParam<Corruption> {};
+
+TEST_P(ValidatorTest, CatchesDamage) {
+  support::Rng rng(503);
+  const auto p = MatrixChainProblem::random(12, rng);
+  auto result = solve_sequential(p);
+  ASSERT_TRUE(validate_result(p, result));
+
+  switch (GetParam()) {
+    case Corruption::kRootCost:
+      result.c(0, 12) += 1;
+      break;
+    case Corruption::kInteriorCost:
+      result.c(3, 9) -= 1;
+      break;
+    case Corruption::kLeafCost:
+      result.c(4, 5) += 1;
+      break;
+    case Corruption::kSplitOutOfRange:
+      result.split(2, 8) = 8;
+      break;
+    case Corruption::kSplitSuboptimal: {
+      // Pick a pair where some split is strictly worse and plant it.
+      bool planted = false;
+      for (std::size_t i = 0; i < 12 && !planted; ++i) {
+        for (std::size_t j = i + 2; j <= 12 && !planted; ++j) {
+          for (std::size_t k = i + 1; k < j; ++k) {
+            const Cost cand =
+                sat_add(result.c(i, k), result.c(k, j), p.f(i, k, j));
+            if (cand > result.c(i, j)) {
+              result.split(i, j) = static_cast<std::int32_t>(k);
+              planted = true;
+              break;
+            }
+          }
+        }
+      }
+      ASSERT_TRUE(planted) << "instance has no strictly-worse split";
+      break;
+    }
+    case Corruption::kTotalCostField:
+      result.cost += 5;
+      break;
+  }
+  EXPECT_FALSE(validate_result(p, result));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCorruptions, ValidatorTest,
+    ::testing::Values(Corruption::kRootCost, Corruption::kInteriorCost,
+                      Corruption::kLeafCost, Corruption::kSplitOutOfRange,
+                      Corruption::kSplitSuboptimal,
+                      Corruption::kTotalCostField),
+    [](const ::testing::TestParamInfo<Corruption>& info) {
+      switch (info.param) {
+        case Corruption::kRootCost:
+          return std::string("root_cost");
+        case Corruption::kInteriorCost:
+          return std::string("interior_cost");
+        case Corruption::kLeafCost:
+          return std::string("leaf_cost");
+        case Corruption::kSplitOutOfRange:
+          return std::string("split_range");
+        case Corruption::kSplitSuboptimal:
+          return std::string("split_suboptimal");
+        case Corruption::kTotalCostField:
+          return std::string("total_cost");
+      }
+      return std::string("unknown");
+    });
+
+TEST(ExtractTree, SingleObject) {
+  const MatrixChainProblem p({2, 3});
+  const auto result = solve_sequential(p);
+  const auto tree = extract_tree(result);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(ExtractTree, TiesProduceSomeOptimalTree) {
+  // All-equal dims: every parenthesization is optimal; extraction must
+  // still produce a valid tree of the optimal weight.
+  const MatrixChainProblem p({5, 5, 5, 5, 5, 5});
+  const auto result = solve_sequential(p);
+  const auto tree = extract_tree(result);
+  EXPECT_TRUE(tree.validate());
+  EXPECT_EQ(tree_weight(p, tree), result.cost);
+}
+
+}  // namespace
+}  // namespace subdp::dp

@@ -1,0 +1,92 @@
+// Unit tests for the work/depth ledger (pram/cost_model.hpp).
+
+#include "pram/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subdp::pram {
+namespace {
+
+TEST(CostModel, AccumulatesWorkAndDepth) {
+  CostModel m;
+  m.add_step("a", 100, 1);
+  m.add_step("b", 50, 3);
+  EXPECT_EQ(m.total_work(), 150u);
+  EXPECT_EQ(m.total_depth(), 4u);
+  EXPECT_EQ(m.step_count(), 2u);
+}
+
+TEST(CostModel, DepthDefaultsToOne) {
+  CostModel m;
+  m.add_step("a", 10);
+  EXPECT_EQ(m.total_depth(), 1u);
+}
+
+TEST(CostModel, ZeroDepthRejected) {
+  CostModel m;
+  EXPECT_THROW(m.add_step("a", 10, 0), std::invalid_argument);
+}
+
+TEST(CostModel, BrentTimeUnboundedProcessorsIsDepthPlusSteps) {
+  CostModel m;
+  m.add_step("a", 1000, 2);
+  m.add_step("b", 500, 5);
+  // With p huge each step costs ceil(work/p) = 1 plus its depth.
+  EXPECT_EQ(m.brent_time(1'000'000), (1 + 2) + (1 + 5));
+}
+
+TEST(CostModel, BrentTimeOneProcessorIsWorkPlusDepth) {
+  CostModel m;
+  m.add_step("a", 1000, 2);
+  m.add_step("b", 500, 5);
+  EXPECT_EQ(m.brent_time(1), 1000 + 2 + 500 + 5);
+}
+
+TEST(CostModel, BrentTimeIsMonotoneInProcessors) {
+  CostModel m;
+  for (int s = 0; s < 10; ++s) m.add_step("s", 997, 3);
+  std::uint64_t prev = m.brent_time(1);
+  for (std::uint64_t p = 2; p <= 64; p *= 2) {
+    const std::uint64_t t = m.brent_time(p);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModel, BrentCeilingIsExact) {
+  CostModel m;
+  m.add_step("a", 10, 1);
+  EXPECT_EQ(m.brent_time(3), 4u + 1u);  // ceil(10/3)=4
+  EXPECT_EQ(m.brent_time(5), 2u + 1u);
+}
+
+TEST(CostModel, PhaseTotalsGroupByLabel) {
+  CostModel m;
+  m.add_step("square", 10, 1);
+  m.add_step("pebble", 5, 2);
+  m.add_step("square", 20, 3);
+  const auto totals = m.phase_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals.at("square").steps, 2u);
+  EXPECT_EQ(totals.at("square").work, 30u);
+  EXPECT_EQ(totals.at("square").depth, 4u);
+  EXPECT_EQ(totals.at("pebble").work, 5u);
+}
+
+TEST(CostModel, ResetClearsEverything) {
+  CostModel m;
+  m.add_step("a", 10, 1);
+  m.reset();
+  EXPECT_EQ(m.total_work(), 0u);
+  EXPECT_EQ(m.total_depth(), 0u);
+  EXPECT_EQ(m.step_count(), 0u);
+  EXPECT_TRUE(m.phase_totals().empty());
+}
+
+TEST(CostModel, InvalidProcessorCountRejected) {
+  CostModel m;
+  EXPECT_THROW((void)m.brent_time(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace subdp::pram

@@ -1,0 +1,101 @@
+// Unit tests for the fork-join pool (pram/thread_pool.hpp).
+
+#include "pram/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace subdp::pram {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 7, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NonZeroBeginRespected) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(100, 200, 13, [&](std::int64_t lo, std::int64_t hi) {
+    std::int64_t local = 0;
+    for (std::int64_t i = lo; i < hi; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) {
+    calls.fetch_add(1);
+  });
+  pool.parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, AutomaticGrainStillCovers) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> count{0};
+  pool.parallel_for(0, 12345, 0, [&](std::int64_t lo, std::int64_t hi) {
+    count.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 12345);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> count{0};
+    pool.parallel_for(0, 100, 3, [&](std::int64_t lo, std::int64_t hi) {
+      count.fetch_add(hi - lo);
+    });
+    ASSERT_EQ(count.load(), 100) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, BodyExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::int64_t lo, std::int64_t) {
+                          if (lo == 42) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must still be usable after an exception.
+  std::atomic<std::int64_t> count{0};
+  pool.parallel_for(0, 10, 1, [&](std::int64_t lo, std::int64_t hi) {
+    count.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.parallelism(), 1u);
+  std::int64_t sum = 0;  // no atomics needed: single thread
+  pool.parallel_for(0, 100, 10, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace subdp::pram

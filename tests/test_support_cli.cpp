@@ -1,0 +1,102 @@
+// Unit tests for the flag parser (support/cli.hpp).
+
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subdp::support {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("test program");
+  p.add_int("n", 32, "instance size");
+  p.add_double("ratio", 0.5, "a ratio");
+  p.add_string("shape", "random", "tree shape");
+  p.add_bool("verbose", false, "chatty output");
+  return p;
+}
+
+TEST(ArgParser, DefaultsSurviveEmptyArgv) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("n"), 32);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.5);
+  EXPECT_EQ(p.get_string("shape"), "random");
+  EXPECT_FALSE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, EqualsFormParsesAllTypes) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--n=64", "--ratio=0.25", "--shape=zigzag",
+                        "--verbose=true"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_int("n"), 64);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.25);
+  EXPECT_EQ(p.get_string("shape"), "zigzag");
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, SpaceFormParsesValues) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--n", "128", "--shape", "complete"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_int("n"), 128);
+  EXPECT_EQ(p.get_string("shape"), "complete");
+}
+
+TEST(ArgParser, BareBoolFlagSetsTrue) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, UnknownFlagFails) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, MalformedIntFails) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--n=notanumber"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, MissingValueFails) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, PositionalArgumentsCollected) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "alpha", "--n=2", "beta"};
+  ASSERT_TRUE(p.parse(4, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "alpha");
+  EXPECT_EQ(p.positional()[1], "beta");
+}
+
+TEST(ArgParser, UnregisteredLookupThrows) {
+  ArgParser p = make_parser();
+  EXPECT_THROW((void)p.get_int("missing"), std::invalid_argument);
+  EXPECT_THROW((void)p.get_int("shape"), std::invalid_argument);  // wrong type
+}
+
+TEST(ArgParser, UsageMentionsFlagsAndHelp) {
+  ArgParser p = make_parser();
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("instance size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subdp::support

@@ -1,0 +1,75 @@
+// Unit tests for the 2-D grid container (support/grid.hpp).
+
+#include "support/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/cost.hpp"
+
+namespace subdp::support {
+namespace {
+
+TEST(Grid2D, ConstructsWithFillValue) {
+  Grid2D<int> g(3, 4, 7);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 4u);
+  EXPECT_EQ(g.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(g(r, c), 7);
+    }
+  }
+}
+
+TEST(Grid2D, ValueInitialisedByDefault) {
+  Grid2D<Cost> g(2, 2);
+  EXPECT_EQ(g(0, 0), 0);
+  EXPECT_EQ(g(1, 1), 0);
+}
+
+TEST(Grid2D, WritesAreIndependent) {
+  Grid2D<int> g(2, 3, 0);
+  g(0, 1) = 5;
+  g(1, 2) = 9;
+  EXPECT_EQ(g(0, 1), 5);
+  EXPECT_EQ(g(1, 2), 9);
+  EXPECT_EQ(g(0, 0), 0);
+  EXPECT_EQ(g(1, 1), 0);
+}
+
+TEST(Grid2D, FillResetsEverything) {
+  Grid2D<int> g(2, 2, 1);
+  g(0, 0) = 42;
+  g.fill(3);
+  EXPECT_EQ(g(0, 0), 3);
+  EXPECT_EQ(g(1, 1), 3);
+}
+
+TEST(Grid2D, EqualityComparesShapeAndContents) {
+  Grid2D<int> a(2, 2, 1), b(2, 2, 1), c(2, 3, 1);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  b(1, 1) = 2;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Grid2D, CopyAssignIsDeep) {
+  Grid2D<int> a(2, 2, 1);
+  Grid2D<int> b = a;
+  b(0, 0) = 99;
+  EXPECT_EQ(a(0, 0), 1);
+  EXPECT_EQ(b(0, 0), 99);
+}
+
+TEST(Grid2D, RowMajorLayout) {
+  Grid2D<int> g(2, 3, 0);
+  g(0, 0) = 1;
+  g(0, 2) = 3;
+  g(1, 0) = 4;
+  EXPECT_EQ(g.data()[0], 1);
+  EXPECT_EQ(g.data()[2], 3);
+  EXPECT_EQ(g.data()[3], 4);
+}
+
+}  // namespace
+}  // namespace subdp::support

@@ -1,0 +1,135 @@
+// Unit tests for statistics and curve fitting (support/stats.hpp).
+
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace subdp::support {
+namespace {
+
+TEST(Summary, KnownSample) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summary, EvenCountMedianAveragesMiddlePair) {
+  const std::vector<double> xs{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 2.5);
+}
+
+TEST(Summary, EmptySampleIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, SingleElement) {
+  const std::vector<double> xs{7.5};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+}
+
+TEST(FitLinear, RecoversExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLineStillClose) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 2.0 + 0.01 * (rng.uniform01() - 0.5));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-3);
+  EXPECT_GT(fit.r_squared, 0.9999);
+}
+
+TEST(FitPowerLaw, RecoversPlantedExponent) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 20; ++i) {
+    xs.push_back(std::pow(2.0, i / 2.0));
+    ys.push_back(7.0 * std::pow(xs.back(), 1.5));
+  }
+  const LinearFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.5, 1e-9);  // the exponent
+}
+
+TEST(FitPowerLaw, RejectsNonPositiveInput) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{0, 2};
+  EXPECT_THROW((void)fit_power_law(xs, ys), std::invalid_argument);
+}
+
+TEST(FitLogarithmic, RecoversPlantedCoefficients) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 16; ++i) {
+    xs.push_back(std::pow(2.0, i));
+    ys.push_back(4.0 + 2.0 * i);  // 4 + 2*log2(x)
+  }
+  const LinearFit fit = fit_logarithmic(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-9);
+}
+
+TEST(IntegerMath, CeilSqrtExactSquares) {
+  EXPECT_EQ(ceil_sqrt(0), 0u);
+  EXPECT_EQ(ceil_sqrt(1), 1u);
+  EXPECT_EQ(ceil_sqrt(4), 2u);
+  EXPECT_EQ(ceil_sqrt(9), 3u);
+  EXPECT_EQ(ceil_sqrt(1 << 20), 1024u);
+}
+
+TEST(IntegerMath, CeilSqrtBetweenSquares) {
+  EXPECT_EQ(ceil_sqrt(2), 2u);
+  EXPECT_EQ(ceil_sqrt(3), 2u);
+  EXPECT_EQ(ceil_sqrt(5), 3u);
+  EXPECT_EQ(ceil_sqrt(10), 4u);
+  EXPECT_EQ(ceil_sqrt(99), 10u);
+  EXPECT_EQ(ceil_sqrt(101), 11u);
+}
+
+TEST(IntegerMath, CeilSqrtIsExactForAllSmallN) {
+  for (std::size_t n = 1; n <= 5000; ++n) {
+    const std::size_t r = ceil_sqrt(n);
+    EXPECT_GE(r * r, n);
+    EXPECT_LT((r - 1) * (r - 1), n);
+  }
+}
+
+TEST(IntegerMath, TwoCeilSqrtMatchesPaperBound) {
+  EXPECT_EQ(two_ceil_sqrt(16), 8u);
+  EXPECT_EQ(two_ceil_sqrt(17), 10u);
+}
+
+TEST(IntegerMath, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+}  // namespace
+}  // namespace subdp::support

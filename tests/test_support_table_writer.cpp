@@ -1,0 +1,68 @@
+// Unit tests for the experiment table writer (support/table_writer.hpp).
+
+#include "support/table_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace subdp::support {
+namespace {
+
+TEST(TableWriter, PrintsHeaderAndRows) {
+  TableWriter t("demo", {"n", "moves", "note"});
+  t.add_row({std::int64_t{16}, 3.25, std::string("ok")});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("moves"), std::string::npos);
+  EXPECT_NE(out.find("16"), std::string::npos);
+  EXPECT_NE(out.find("3.25"), std::string::npos);
+  EXPECT_NE(out.find("ok"), std::string::npos);
+}
+
+TEST(TableWriter, RowWidthMismatchThrows) {
+  TableWriter t("demo", {"a", "b"});
+  EXPECT_THROW(t.add_row({std::int64_t{1}}), std::invalid_argument);
+}
+
+TEST(TableWriter, FormatsIntegersWithoutDecimals) {
+  EXPECT_EQ(TableWriter::format_cell(std::int64_t{42}), "42");
+}
+
+TEST(TableWriter, FormatsDoublesTrimmed) {
+  EXPECT_EQ(TableWriter::format_cell(2.5), "2.5");
+  EXPECT_EQ(TableWriter::format_cell(2.0), "2.0");
+  EXPECT_EQ(TableWriter::format_cell(0.1234567), "0.1235");
+}
+
+TEST(TableWriter, CsvRoundTripWithEscaping) {
+  TableWriter t("demo", {"name", "value"});
+  t.add_row({std::string("has,comma"), std::int64_t{1}});
+  t.add_row({std::string("has\"quote"), std::int64_t{2}});
+  const std::string path = ::testing::TempDir() + "subdp_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"has,comma\",1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"has\"\"quote\",2");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriter, RowCountTracksAdds) {
+  TableWriter t("demo", {"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({std::int64_t{1}});
+  t.add_row({std::int64_t{2}});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace subdp::support

@@ -1,0 +1,100 @@
+// Tests for the Sec. 6 average-case recurrence evaluator
+// (trees/average_case.hpp) and its agreement with game simulations.
+
+#include "trees/average_case.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "trees/generators.hpp"
+#include "trees/pebble_game.hpp"
+
+namespace subdp::trees {
+namespace {
+
+TEST(AverageRecurrence, BaseCases) {
+  const auto t = average_move_recurrence(4);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t[1], 0.0);
+  // T(2) = 1 + max(T(1),T(1)) = 1.
+  EXPECT_DOUBLE_EQ(t[2], 1.0);
+  // T(3) = 1 + (T(2) + T(2)) / 2 = 2 (splits 1|2 and 2|1 both give max=T(2)).
+  EXPECT_DOUBLE_EQ(t[3], 2.0);
+  // T(4) = 1 + (T(3) + T(2) + T(3)) / 3 = 1 + (2+1+2)/3 = 8/3.
+  EXPECT_NEAR(t[4], 1.0 + 5.0 / 3.0, 1e-12);
+}
+
+TEST(AverageRecurrence, MatchesDirectEvaluation) {
+  // Cross-check the prefix-sum implementation against the O(n^2) direct
+  // form on small n.
+  constexpr std::size_t kMax = 200;
+  const auto fast = average_move_recurrence(kMax);
+  std::vector<double> direct(kMax + 1, 0.0);
+  for (std::size_t n = 2; n <= kMax; ++n) {
+    double sum = 0.0;
+    for (std::size_t i = 1; i < n; ++i) {
+      sum += std::max(direct[i], direct[n - i]);
+    }
+    direct[n] = 1.0 + sum / static_cast<double>(n - 1);
+  }
+  for (std::size_t n = 1; n <= kMax; ++n) {
+    ASSERT_NEAR(fast[n], direct[n], 1e-9) << "n=" << n;
+  }
+}
+
+TEST(AverageRecurrence, IsMonotoneNondecreasing) {
+  const auto t = average_move_recurrence(5000);
+  for (std::size_t n = 2; n <= 5000; ++n) {
+    ASSERT_GE(t[n], t[n - 1]) << "n=" << n;
+  }
+}
+
+TEST(AverageRecurrence, GrowsLogarithmically) {
+  const auto t = average_move_recurrence(1 << 16);
+  // Fit T(n) = a + b log2(n) over powers of two; expect solid fit and a
+  // modest slope (the paper proves T(n) = O(log n)).
+  std::vector<double> xs, ys;
+  for (std::size_t e = 4; e <= 16; ++e) {
+    xs.push_back(static_cast<double>(std::size_t{1} << e));
+    ys.push_back(t[std::size_t{1} << e]);
+  }
+  const auto fit = support::fit_logarithmic(xs, ys);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_GT(fit.slope, 0.5);
+  EXPECT_LT(fit.slope, 4.0);
+  // And it is far below the worst-case 2*sqrt(n).
+  EXPECT_LT(t[1 << 16], 0.2 * std::sqrt(double{1 << 16}));
+}
+
+TEST(AverageRecurrence, RejectsZero) {
+  EXPECT_THROW((void)average_move_recurrence(0), std::invalid_argument);
+}
+
+TEST(AverageRecurrence, UpperBoundsTheSimulatedGame) {
+  // The recurrence charges one move per combining level sequentially; the
+  // real game pipelines activations across levels, so measured means run
+  // at roughly T(n)/2 (empirically 0.48-0.50 x, tracking log2 n closely —
+  // see bench_pebbling_average). The recurrence must stay a sound upper
+  // model and the game must stay within a small constant of it.
+  const std::size_t n = 512;
+  const auto t = average_move_recurrence(n);
+  support::Rng rng(99);
+  double total = 0;
+  constexpr int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto tree = make_tree(TreeShape::kRandom, n, &rng);
+    PebbleGame game(tree);
+    game.run_until_root(support::two_ceil_sqrt(n));
+    EXPECT_TRUE(game.root_pebbled());
+    total += static_cast<double>(game.moves_made());
+  }
+  const double mean = total / kTrials;
+  EXPECT_LT(mean, t[n]);          // model is an upper envelope
+  EXPECT_GT(mean, t[n] / 3.0);    // and not wildly loose
+}
+
+}  // namespace
+}  // namespace subdp::trees

@@ -1,0 +1,123 @@
+// Tests for the Fig. 1 chain decomposition (trees/chain_decomposition.hpp):
+// the structural bounds used in the proof of Lemma 3.3 must hold for every
+// node of every tree shape.
+
+#include "trees/chain_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "trees/generators.hpp"
+
+namespace subdp::trees {
+namespace {
+
+TEST(ChainDecomposition, LeafHasTrivialChain) {
+  const auto t = FullBinaryTree::build(1, {});
+  const auto d = decompose(t, t.root());
+  EXPECT_EQ(d.i, 0u);
+  ASSERT_EQ(d.chain.size(), 1u);
+  EXPECT_EQ(d.chain[0], t.root());
+  EXPECT_TRUE(verify_chain_bounds(t, d));
+}
+
+TEST(ChainDecomposition, IndexIsTheSquareBand) {
+  // i is defined by i^2 < size <= (i+1)^2.
+  const auto t = make_tree(TreeShape::kComplete, 100);
+  const auto d = decompose(t, t.root());
+  EXPECT_EQ(d.i, 9u);  // 81 < 100 <= 100
+}
+
+TEST(ChainDecomposition, ChainStartsAtTheNode) {
+  support::Rng rng(1);
+  const auto t = make_tree(TreeShape::kRandom, 50, &rng);
+  for (NodeId x = 0; static_cast<std::size_t>(x) < t.node_count(); ++x) {
+    const auto d = decompose(t, x);
+    ASSERT_FALSE(d.chain.empty());
+    EXPECT_EQ(d.chain.front(), x);
+  }
+}
+
+TEST(ChainDecomposition, ChainIsAHeavyPath) {
+  support::Rng rng(2);
+  const auto t = make_tree(TreeShape::kBiasedRandom, 80, &rng);
+  const auto d = decompose(t, t.root());
+  if (d.i >= 2) {
+    for (std::size_t idx = 1; idx < d.chain.size(); ++idx) {
+      EXPECT_EQ(t.parent(d.chain[idx]), d.chain[idx - 1]);
+      EXPECT_GT(t.size(d.chain[idx]), d.i * d.i);
+    }
+  }
+}
+
+TEST(ChainDecomposition, SkewedTreeHasLongestAllowedChain) {
+  // On a chain-shaped (skewed) tree, the chain walks until the subtree
+  // size drops to i^2 + 1: length = size - i^2 <= 2i + 1.
+  const std::size_t n = 100;  // i = 9
+  const auto t = make_tree(TreeShape::kLeftSkewed, n);
+  const auto d = decompose(t, t.root());
+  EXPECT_EQ(d.i, 9u);
+  EXPECT_EQ(d.chain.size(), n - 81u);  // 19 = 2i + 1
+  EXPECT_TRUE(verify_chain_bounds(t, d));
+}
+
+TEST(ChainDecomposition, OffChainSizesAreSmall) {
+  support::Rng rng(3);
+  const auto t = make_tree(TreeShape::kRandom, 400, &rng);
+  const auto d = decompose(t, t.root());
+  if (d.i >= 2) {
+    const auto off_total =
+        std::accumulate(d.off_chain_sizes.begin(), d.off_chain_sizes.end(),
+                        std::size_t{0});
+    EXPECT_LE(off_total, 2 * d.i);
+    for (const auto s : d.off_chain_sizes) EXPECT_LE(s, d.i * d.i);
+  }
+}
+
+struct ChainParam {
+  TreeShape shape;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class ChainBoundsTest : public ::testing::TestWithParam<ChainParam> {};
+
+TEST_P(ChainBoundsTest, BoundsHoldForEveryNode) {
+  const auto [shape, n, seed] = GetParam();
+  support::Rng rng(seed);
+  const auto t = make_tree(shape, n, &rng);
+  for (NodeId x = 0; static_cast<std::size_t>(x) < t.node_count(); ++x) {
+    const auto d = decompose(t, x);
+    ASSERT_TRUE(verify_chain_bounds(t, d))
+        << to_string(shape) << " n=" << n << " node=" << x
+        << " size=" << t.size(x) << " i=" << d.i
+        << " chain_len=" << d.chain.size();
+  }
+}
+
+std::vector<ChainParam> chain_params() {
+  std::vector<ChainParam> params;
+  std::uint64_t seed = 50;
+  for (const TreeShape s : kAllShapes) {
+    for (const std::size_t n : {2u, 5u, 17u, 64u, 100u, 333u}) {
+      params.push_back({s, n, seed++});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, ChainBoundsTest, ::testing::ValuesIn(chain_params()),
+    [](const ::testing::TestParamInfo<ChainParam>& info) {
+      std::string name = to_string(info.param.shape);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_" + std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace subdp::trees

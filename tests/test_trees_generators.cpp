@@ -1,0 +1,143 @@
+// Tests for the tree-shape generators (trees/generators.hpp), including
+// shape-specific structural properties and a parameterized validation
+// sweep over all shapes and many sizes.
+
+#include "trees/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace subdp::trees {
+namespace {
+
+TEST(Generators, CompleteTreeIsBalanced) {
+  const auto t = make_tree(TreeShape::kComplete, 32);
+  // Every internal node's children differ in size by at most 1.
+  for (NodeId x = 0; static_cast<std::size_t>(x) < t.node_count(); ++x) {
+    if (t.is_leaf(x)) continue;
+    const auto a = t.size(t.left(x));
+    const auto b = t.size(t.right(x));
+    EXPECT_LE(a > b ? a - b : b - a, 1u);
+  }
+}
+
+TEST(Generators, LeftSkewedSpineShedsRightLeaves) {
+  const auto t = make_tree(TreeShape::kLeftSkewed, 10);
+  NodeId x = t.root();
+  std::size_t depth = 0;
+  while (!t.is_leaf(x)) {
+    EXPECT_TRUE(t.is_leaf(t.right(x)));
+    x = t.left(x);
+    ++depth;
+  }
+  EXPECT_EQ(depth, 9u);
+}
+
+TEST(Generators, RightSkewedSpineShedsLeftLeaves) {
+  const auto t = make_tree(TreeShape::kRightSkewed, 10);
+  NodeId x = t.root();
+  while (!t.is_leaf(x)) {
+    EXPECT_TRUE(t.is_leaf(t.left(x)));
+    x = t.right(x);
+  }
+}
+
+TEST(Generators, ZigzagAlternatesSpineDirection) {
+  const auto t = make_tree(TreeShape::kZigzag, 12);
+  // Walk the spine: the non-leaf child alternates sides every level.
+  NodeId x = t.root();
+  int expect_leaf_on_left = 1;  // depth 0 splits at lo+1: left child is leaf
+  while (!t.is_leaf(x) && t.size(x) > 2) {
+    const NodeId l = t.left(x);
+    const NodeId r = t.right(x);
+    if (expect_leaf_on_left) {
+      EXPECT_TRUE(t.is_leaf(l));
+      x = r;
+    } else {
+      EXPECT_TRUE(t.is_leaf(r));
+      x = l;
+    }
+    expect_leaf_on_left ^= 1;
+  }
+}
+
+TEST(Generators, ZigzagIsDeterministic) {
+  const auto a = make_tree(TreeShape::kZigzag, 30);
+  const auto b = make_tree(TreeShape::kZigzag, 30);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (NodeId x = 0; static_cast<std::size_t>(x) < a.node_count(); ++x) {
+    EXPECT_EQ(a.lo(x), b.lo(x));
+    EXPECT_EQ(a.hi(x), b.hi(x));
+  }
+}
+
+TEST(Generators, RandomTreesVaryWithSeed) {
+  support::Rng r1(1), r2(2);
+  const auto a = make_tree(TreeShape::kRandom, 64, &r1);
+  const auto b = make_tree(TreeShape::kRandom, 64, &r2);
+  bool differs = false;
+  for (NodeId x = 0; static_cast<std::size_t>(x) < a.node_count(); ++x) {
+    if (a.lo(x) != b.lo(x) || a.hi(x) != b.hi(x)) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, RandomShapeRequiresRng) {
+  EXPECT_THROW((void)make_tree(TreeShape::kRandom, 8, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_tree(TreeShape::kBiasedRandom, 8, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Generators, ShapeNamesRoundTrip) {
+  for (const TreeShape s : kAllShapes) {
+    const auto parsed = shape_from_string(to_string(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(shape_from_string("bogus").has_value());
+}
+
+struct ShapeSizeParam {
+  TreeShape shape;
+  std::size_t n;
+};
+
+class GeneratorValidationTest
+    : public ::testing::TestWithParam<ShapeSizeParam> {};
+
+TEST_P(GeneratorValidationTest, ProducesValidFullBinaryTree) {
+  const auto [shape, n] = GetParam();
+  support::Rng rng(123);
+  const auto t = make_tree(shape, n, &rng);
+  EXPECT_EQ(t.leaf_count(), n);
+  EXPECT_TRUE(t.validate());
+}
+
+std::vector<ShapeSizeParam> all_shape_sizes() {
+  std::vector<ShapeSizeParam> params;
+  for (const TreeShape s : kAllShapes) {
+    for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 16u, 33u, 100u, 257u}) {
+      params.push_back({s, n});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapesAndSizes, GeneratorValidationTest,
+    ::testing::ValuesIn(all_shape_sizes()),
+    [](const ::testing::TestParamInfo<ShapeSizeParam>& info) {
+      std::string name = to_string(info.param.shape);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_" + std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace subdp::trees

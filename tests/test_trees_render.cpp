@@ -1,0 +1,75 @@
+// Tests for the ASCII tree renderer (trees/render.hpp).
+
+#include "trees/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/rng.hpp"
+#include "trees/generators.hpp"
+
+namespace subdp::trees {
+namespace {
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t lines = 0;
+  for (const char c : s) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(Render, SingleLeaf) {
+  const auto t = FullBinaryTree::build(1, {});
+  const auto out = render_sideways(t);
+  EXPECT_EQ(count_lines(out), 1u);
+  EXPECT_NE(out.find("(0,1)"), std::string::npos);
+}
+
+TEST(Render, OneLinePerNode) {
+  support::Rng rng(71);
+  for (const std::size_t n : {2u, 5u, 12u}) {
+    const auto t = make_tree(TreeShape::kRandom, n, &rng);
+    const auto out = render_sideways(t);
+    EXPECT_EQ(count_lines(out), t.node_count()) << "n=" << n;
+  }
+}
+
+TEST(Render, EveryIntervalAppears) {
+  const auto t = make_tree(TreeShape::kZigzag, 6);
+  const auto out = render_sideways(t);
+  for (NodeId x = 0; static_cast<std::size_t>(x) < t.node_count(); ++x) {
+    const std::string label =
+        "(" + std::to_string(t.lo(x)) + "," + std::to_string(t.hi(x)) + ")";
+    EXPECT_NE(out.find(label), std::string::npos) << label;
+  }
+}
+
+TEST(Render, DecoratorOutputIsAttached) {
+  const auto t = make_tree(TreeShape::kComplete, 4);
+  const auto out = render_sideways(
+      t, [&](NodeId x) { return t.is_leaf(x) ? "LEAF" : "INNER"; });
+  // 4 leaves and 3 internal nodes.
+  std::size_t leaves = 0, inner = 0;
+  for (std::size_t pos = out.find("LEAF"); pos != std::string::npos;
+       pos = out.find("LEAF", pos + 1)) {
+    ++leaves;
+  }
+  for (std::size_t pos = out.find("INNER"); pos != std::string::npos;
+       pos = out.find("INNER", pos + 1)) {
+    ++inner;
+  }
+  EXPECT_EQ(leaves, 4u);
+  EXPECT_EQ(inner, 3u);
+}
+
+TEST(Render, RootIsUnindented) {
+  const auto t = make_tree(TreeShape::kComplete, 8);
+  const auto out = render_sideways(t);
+  // The root line starts at column 0 with its interval.
+  EXPECT_NE(out.find("\n(0,8)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subdp::trees

@@ -1,0 +1,120 @@
+// Unit tests for the arena tree (trees/full_binary_tree.hpp).
+
+#include "trees/full_binary_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "trees/generators.hpp"
+
+namespace subdp::trees {
+namespace {
+
+FullBinaryTree midpoint_tree(std::size_t n) {
+  return FullBinaryTree::build(
+      n, [](std::size_t lo, std::size_t hi, std::size_t) {
+        return lo + (hi - lo) / 2;
+      });
+}
+
+TEST(FullBinaryTree, SingleLeaf) {
+  const auto t = FullBinaryTree::build(1, {});
+  EXPECT_EQ(t.leaf_count(), 1u);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_TRUE(t.is_leaf(t.root()));
+  EXPECT_EQ(t.parent(t.root()), kNoNode);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(FullBinaryTree, TwoLeaves) {
+  const auto t = midpoint_tree(2);
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_FALSE(t.is_leaf(t.root()));
+  EXPECT_TRUE(t.is_leaf(t.left(t.root())));
+  EXPECT_TRUE(t.is_leaf(t.right(t.root())));
+  EXPECT_EQ(t.split(t.root()), 1u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(FullBinaryTree, NodeCountIsAlwaysTwoNMinusOne) {
+  for (std::size_t n = 1; n <= 40; ++n) {
+    EXPECT_EQ(midpoint_tree(n).node_count(), 2 * n - 1);
+  }
+}
+
+TEST(FullBinaryTree, SizesAddUp) {
+  const auto t = midpoint_tree(17);
+  for (NodeId x = 0; static_cast<std::size_t>(x) < t.node_count(); ++x) {
+    if (!t.is_leaf(x)) {
+      EXPECT_EQ(t.size(x), t.size(t.left(x)) + t.size(t.right(x)));
+    } else {
+      EXPECT_EQ(t.size(x), 1u);
+    }
+  }
+}
+
+TEST(FullBinaryTree, IsAncestorSemantics) {
+  const auto t = midpoint_tree(8);
+  const NodeId root = t.root();
+  EXPECT_TRUE(t.is_ancestor(root, root));  // every node is its own ancestor
+  const NodeId l = t.left(root);
+  const NodeId r = t.right(root);
+  EXPECT_TRUE(t.is_ancestor(root, l));
+  EXPECT_TRUE(t.is_ancestor(root, r));
+  EXPECT_FALSE(t.is_ancestor(l, root));
+  EXPECT_FALSE(t.is_ancestor(l, r));
+}
+
+TEST(FullBinaryTree, NodeAtFindsEveryNode) {
+  support::Rng rng(3);
+  const auto t = make_tree(TreeShape::kRandom, 33, &rng);
+  for (NodeId x = 0; static_cast<std::size_t>(x) < t.node_count(); ++x) {
+    EXPECT_EQ(t.node_at(t.lo(x), t.hi(x)), x);
+  }
+}
+
+TEST(FullBinaryTree, NodeAtMissesNonNodes) {
+  // Left-skewed over 4 leaves: nodes (0,4),(0,3),(0,2),(0,1),(1,2),(2,3),(3,4).
+  const auto t = make_tree(TreeShape::kLeftSkewed, 4);
+  EXPECT_EQ(t.node_at(1, 4), kNoNode);
+  EXPECT_EQ(t.node_at(1, 3), kNoNode);
+  EXPECT_EQ(t.node_at(2, 4), kNoNode);
+  EXPECT_EQ(t.node_at(0, 5), kNoNode);  // out of range
+  EXPECT_EQ(t.node_at(3, 3), kNoNode);  // empty interval
+}
+
+TEST(FullBinaryTree, HeightOfShapes) {
+  EXPECT_EQ(make_tree(TreeShape::kComplete, 16).height(), 4u);
+  EXPECT_EQ(make_tree(TreeShape::kLeftSkewed, 16).height(), 15u);
+  EXPECT_EQ(make_tree(TreeShape::kZigzag, 16).height(), 15u);
+}
+
+TEST(FullBinaryTree, LeavesOrderedByInterval) {
+  support::Rng rng(9);
+  const auto t = make_tree(TreeShape::kRandom, 20, &rng);
+  const auto ls = t.leaves();
+  ASSERT_EQ(ls.size(), 20u);
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    EXPECT_EQ(t.lo(ls[i]), i);
+    EXPECT_EQ(t.hi(ls[i]), i + 1);
+  }
+}
+
+TEST(FullBinaryTree, BuildRejectsBadSplit) {
+  EXPECT_THROW(FullBinaryTree::build(
+                   4,
+                   [](std::size_t lo, std::size_t, std::size_t) {
+                     return lo;  // not strictly inside
+                   }),
+               std::invalid_argument);
+}
+
+TEST(FullBinaryTree, DeepSkewedTreeBuildsWithoutStackOverflow) {
+  const std::size_t n = 200'000;
+  const auto t = make_tree(TreeShape::kLeftSkewed, n);
+  EXPECT_EQ(t.node_count(), 2 * n - 1);
+  EXPECT_EQ(t.height(), n - 1);
+}
+
+}  // namespace
+}  // namespace subdp::trees
