@@ -1,15 +1,34 @@
-// Experiment E9: real multicore wall-clock times (google-benchmark).
+// Experiment E9: real multicore wall-clock times.
+//
+// Two entry points share this binary:
+//  * the google-benchmark suite below (default): sequential DP vs the
+//    diagonal-parallel wavefront vs the sublinear solver across execution
+//    backends, plus the raw pebbling game;
+//  * `--json=<path>`: a machine-readable perf-trajectory sweep. For every
+//    instance family in bench/common.hpp and a ladder of sizes it times
+//    the solver end-to-end (checks off) on the serial and thread-pool
+//    backends, for both the reference engine configuration
+//    (copy-based double buffering, full sweeps — the seed engine's hot
+//    path) and the delta-buffered / frontier-driven fast path, and
+//    records the instrumented PRAM work totals once per configuration.
+//    The output (conventionally BENCH_walltime.json) is what CI tracks
+//    across PRs.
 //
 // The PRAM results are about operation counts; this suite grounds the
-// simulator on actual hardware: sequential DP vs the diagonal-parallel
-// wavefront vs the sublinear solver across execution backends, plus the
-// raw pebbling game. On a machine with few cores the speedups are
-// correspondingly modest — the *shape* to check is that parallel backends
-// do not lose to serial on the larger sizes and that solver time is
-// dominated by the a-square step.
+// simulator on actual hardware. On a machine with few cores the
+// backend speedups are correspondingly modest — the *shape* to check is
+// that parallel backends do not lose to serial on the larger sizes and
+// that the fast path beats the reference engine.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
 #include "core/sublinear_solver.hpp"
 #include "dp/matrix_chain.hpp"
 #include "dp/sequential.hpp"
@@ -53,24 +72,33 @@ BENCHMARK(BM_Wavefront)
     ->Args({256, static_cast<int>(pram::Backend::kThreadPool)})
     ->Args({256, static_cast<int>(pram::Backend::kOpenMP)});
 
+// range(2) selects the engine configuration: 0 = reference (copy-based
+// double buffering + full sweeps, the seed hot path), 1 = fast
+// (delta-buffered + frontier-driven).
 void BM_SublinearBanded(benchmark::State& state) {
   const auto problem = make_chain(static_cast<std::size_t>(state.range(0)));
   const auto backend = static_cast<pram::Backend>(state.range(1));
+  const bool fast = state.range(2) != 0;
   for (auto _ : state) {
     core::SublinearOptions options;
     options.machine.backend = backend;
     options.machine.record_costs = false;
+    options.delta_buffering = fast;
+    options.frontier_sweeps = fast;
     core::SublinearSolver solver(options);
     benchmark::DoNotOptimize(solver.solve(problem).cost);
   }
-  state.SetLabel(pram::to_string(backend));
+  state.SetLabel(std::string(pram::to_string(backend)) +
+                 (fast ? "/fast" : "/reference"));
 }
 BENCHMARK(BM_SublinearBanded)
-    ->Args({32, static_cast<int>(pram::Backend::kSerial)})
-    ->Args({32, static_cast<int>(pram::Backend::kThreadPool)})
-    ->Args({64, static_cast<int>(pram::Backend::kSerial)})
-    ->Args({64, static_cast<int>(pram::Backend::kThreadPool)})
-    ->Args({64, static_cast<int>(pram::Backend::kOpenMP)});
+    ->Args({32, static_cast<int>(pram::Backend::kSerial), 0})
+    ->Args({32, static_cast<int>(pram::Backend::kSerial), 1})
+    ->Args({32, static_cast<int>(pram::Backend::kThreadPool), 1})
+    ->Args({64, static_cast<int>(pram::Backend::kSerial), 0})
+    ->Args({64, static_cast<int>(pram::Backend::kSerial), 1})
+    ->Args({64, static_cast<int>(pram::Backend::kThreadPool), 1})
+    ->Args({64, static_cast<int>(pram::Backend::kOpenMP), 1});
 
 void BM_SublinearDense(benchmark::State& state) {
   const auto problem = make_chain(static_cast<std::size_t>(state.range(0)));
@@ -97,4 +125,124 @@ void BM_PebbleGame(benchmark::State& state) {
 }
 BENCHMARK(BM_PebbleGame)->Arg(1 << 10)->Arg(1 << 14);
 
+// ---- --json sweep ----------------------------------------------------------
+
+struct SweepRow {
+  std::string family;
+  std::size_t n = 0;
+  std::string engine;   // "reference" | "fast"
+  std::string backend;  // "serial" | "threads"
+  double wall_ms = 0.0;
+  std::uint64_t total_work = 0;  // instrumented PRAM ops (engine-independent)
+  std::size_t iterations = 0;
+  Cost cost = 0;
+};
+
+double time_solve_ms(const dp::Problem& problem, bool fast,
+                     pram::Backend backend) {
+  core::SublinearOptions options;
+  options.machine.backend = backend;
+  options.machine.record_costs = false;
+  options.delta_buffering = fast;
+  options.frontier_sweeps = fast;
+  core::SublinearSolver solver(options);
+  double best_ms = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {  // best-of-2 absorbs cold caches
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = solver.solve(problem);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(result.cost);
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
+}
+
+void run_json_sweep(const std::string& path) {
+  // Open the output up front: the sweep takes minutes, and a bad path
+  // should fail before measuring, not after.
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  const std::vector<std::size_t> sizes = {32, 64, 96};
+  std::vector<SweepRow> rows;
+  for (const std::string& family : bench::instance_families()) {
+    for (const std::size_t n : sizes) {
+      support::Rng rng(1234 + n);
+      const auto problem = bench::make_instance(family, n, rng);
+
+      // Work totals and iteration counts come from one instrumented
+      // serial run; they are identical across engines and backends (the
+      // equivalence tests enforce this), so measure them once.
+      core::SublinearOptions counted;
+      counted.machine.backend = pram::Backend::kSerial;
+      counted.machine.record_costs = true;
+      core::SublinearSolver counter(counted);
+      const auto counted_result = counter.solve(*problem);
+      const std::uint64_t total_work = counter.machine().costs().total_work();
+
+      for (const bool fast : {false, true}) {
+        for (const pram::Backend backend :
+             {pram::Backend::kSerial, pram::Backend::kThreadPool}) {
+          SweepRow row;
+          row.family = family;
+          row.n = n;
+          row.engine = fast ? "fast" : "reference";
+          row.backend = pram::to_string(backend);
+          row.wall_ms = time_solve_ms(*problem, fast, backend);
+          row.total_work = total_work;
+          row.iterations = counted_result.iterations;
+          row.cost = counted_result.cost;
+          rows.push_back(row);
+          std::printf("%-14s n=%-4zu %-9s %-7s %10.3f ms\n", family.c_str(),
+                      n, row.engine.c_str(), row.backend.c_str(),
+                      row.wall_ms);
+        }
+      }
+    }
+  }
+
+  std::fprintf(out, "{\n  \"bench\": \"walltime\",\n  \"results\": [\n");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const SweepRow& row = rows[r];
+    std::fprintf(
+        out,
+        "    {\"family\": \"%s\", \"n\": %zu, \"engine\": \"%s\", "
+        "\"backend\": \"%s\", \"wall_ms\": %.4f, \"total_work\": %llu, "
+        "\"iterations\": %zu, \"cost\": %lld}%s\n",
+        row.family.c_str(), row.n, row.engine.c_str(), row.backend.c_str(),
+        row.wall_ms, static_cast<unsigned long long>(row.total_work),
+        row.iterations, static_cast<long long>(row.cost),
+        r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("(json written to %s)\n", path.c_str());
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int kept = 1;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--json=", 7) == 0) {
+      json_path = argv[a] + 7;
+    } else {
+      argv[kept++] = argv[a];
+    }
+  }
+  argc = kept;
+  if (!json_path.empty()) {
+    run_json_sweep(json_path);
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,15 +18,56 @@
 ///   a-pebble (eq. 3):
 ///     w'(i,j) <- min over stored gaps (p,q): pw'(i,j,p,q) + w'(p,q)
 ///
-/// Synchronous PRAM semantics: a-square and a-pebble double-buffer the
-/// array they both read and write, so every read observes the previous
-/// step's state regardless of execution backend; a-activate writes cells
-/// nobody reads within the step and can update in place. Each cell is
-/// written by exactly one logical processor per step (owner-computes), so
-/// the execution is CREW — which the `CrewChecker` verifies when enabled.
+/// Synchronous CREW semantics and the write-log scheme
+/// ---------------------------------------------------
+/// a-square and a-pebble both read and write the same array, so every read
+/// within a step must observe the *previous* step's state regardless of
+/// execution backend. Instead of double-buffering (a full table copy per
+/// step — the dominant memcpy of the seed engine), the step records a
+/// write log of `(cell, new value)` pairs while scanning and applies it
+/// only after the step's barrier: reads during the step see pre-step
+/// state by construction, and since each cell is written by exactly one
+/// logical processor per step (owner-computes, CREW), the apply order is
+/// immaterial. The log doubles as the change count and — for a-pebble —
+/// as the next iteration's frontier. a-activate writes cells nobody reads
+/// within the step and updates in place, as before. Setting
+/// `SublinearOptions::delta_buffering = false` restores the reference
+/// copy-and-swap stepping (bit-identical results; the equivalence tests
+/// compare the two).
+///
+/// Performance architecture
+/// ------------------------
+/// Each macro-step runs on one of two paths:
+///  * the *instrumented* path (`Machine::step`, `std::function` body) when
+///    the cost ledger or the CREW checker is on — per-processor op counts
+///    and `note_write` conformance reports, exactly the paper's
+///    accounting; and
+///  * the *fast* path (`Machine::run_blocks`, templated body) otherwise —
+///    the per-cell kernels below are instantiated with `Instr = false`,
+///    so op counting and `note_write` compile down to nothing and the
+///    kernel inlines into the worker loop.
+/// On the fast path, the sweeps are additionally *frontier-driven*:
+///  * a-activate re-evaluates only the sites reading a `w(i,j)` the last
+///    pebble moved (falling back to the full sweep when that frontier is
+///    dense);
+///  * a-square (HLV mode) skips quadruples none of whose operand roots'
+///    `pw` entries moved since the previous square scanned them;
+///  * a-pebble skips pairs with no root `pw` movement since their last
+///    rescan and no moved `w` among their gaps.
+/// Monotonicity of both tables makes every skipped site provably a no-op
+/// (its candidates are unchanged and were already min-applied), so
+/// results, change counts and iteration schedules are identical to full
+/// sweeps — the equivalence tests verify this per iteration. Checked /
+/// instrumented runs always use full sweeps, keeping the cost ledger
+/// unchanged.
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/quad.hpp"
@@ -56,10 +97,12 @@ class IEngine {
   [[nodiscard]] virtual std::size_t pw_cell_count() const = 0;
 };
 
-/// One pair `(i,j)` of the pebble/activate sweeps.
+/// One pair `(i,j)` of the pebble/activate sweeps. 32-bit fields: unlike
+/// the packed `Quad` (whose tables cap `n` anyway), pair lists are cheap
+/// enough to exist for `n` far beyond 65535, so they must not truncate.
 struct Pair {
-  std::uint16_t i = 0;
-  std::uint16_t j = 0;
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
 };
 
 template <class Table>
@@ -71,15 +114,49 @@ class Engine final : public IEngine {
         options_(options),
         machine_(machine),
         n_(problem.size()),
+        delta_(options.delta_buffering),
         pw_(n_, band),
-        pw_next_(n_, band),
-        w_(n_ + 1, n_ + 1, kInfinity),
-        w_next_(n_ + 1, n_ + 1, kInfinity) {
+        w_(n_ + 1, n_ + 1, kInfinity) {
     for (std::size_t i = 0; i < n_; ++i) {
       w_(i, i + 1) = problem.init(i);
     }
-    w_next_ = w_;
+    if (!delta_) {
+      pw_next_.emplace(n_, band);
+      w_next_ = w_;
+    }
     build_pair_lists();
+
+    const auto& quads = pw_.entries();
+    if (delta_) {
+      SUBDP_REQUIRE(pw_.cell_count() <= UINT32_MAX,
+                    "pw table too large for 32-bit write-log slots");
+      entry_slots_.reserve(quads.size());
+      for (const Quad& t : quads) {
+        entry_slots_.push_back(
+            static_cast<std::uint32_t>(pw_.entry_slot(t.i, t.j, t.p, t.q)));
+      }
+      pw_log_.resize(quads.size());
+      w_log_.resize(pairs_.size());
+    }
+
+    frontier_enabled_ = delta_ && options_.frontier_sweeps &&
+                        !options_.windowed_pebble && !machine_.instrumented();
+    if (frontier_enabled_) {
+      root_dirty_ =
+          std::make_unique<std::atomic<std::uint8_t>[]>(pairs_.size());
+      pw_root_moved_ =
+          std::make_unique<std::atomic<std::uint8_t>[]>(pairs_.size());
+      const std::size_t grid = (n_ + 1) * (n_ + 1);
+      w_moved_.assign(grid, 0);
+      contained_.assign(grid, 0);
+      // The initial frontier: every base entry w(i, i+1) was just set.
+      frontier_.reserve(n_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        frontier_.push_back(Pair{static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(i + 1)});
+      }
+      for (const Pair pr : pairs_) total_split_sites_ += pr.j - pr.i - 1;
+    }
   }
 
   IterationOutcome iterate() override {
@@ -126,6 +203,27 @@ class Engine final : public IEngine {
   }
 
  private:
+  /// One deferred write of a step's log: for a-square, `index` is into
+  /// `entries()`; for a-pebble, into `pairs_`.
+  struct Delta {
+    std::uint32_t index = 0;
+    Cost value = 0;
+  };
+
+  /// The HLV square window of quad `t`: admissible intermediates
+  /// `r in [r_lo, p)` and `s in (q, s_hi]`. Shared by the candidate scan
+  /// and the frontier skip test, which must agree on the operand set.
+  struct HlvWindow {
+    std::size_t r_lo = 0;
+    std::size_t s_hi = 0;
+  };
+  [[nodiscard]] HlvWindow hlv_window(const Quad& t) const {
+    const std::size_t maxs = pw_.max_slack();
+    const std::size_t i = t.i, j = t.j, p = t.p, q = t.q;
+    return {p > maxs && p - maxs > i ? p - maxs : i,
+            q + maxs < j ? q + maxs : j};
+  }
+
   void build_pair_lists() {
     // Pairs with length >= 2, grouped by length ascending, plus the
     // prefix offsets needed to address a window of lengths.
@@ -133,14 +231,19 @@ class Engine final : public IEngine {
     for (std::size_t len = 2; len <= n_; ++len) {
       pairs_offset_by_length_[len] = pairs_.size();
       for (std::size_t i = 0; i + len <= n_; ++i) {
-        pairs_.push_back(Pair{static_cast<std::uint16_t>(i),
-                              static_cast<std::uint16_t>(i + len)});
+        pairs_.push_back(Pair{static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(i + len)});
       }
     }
     pairs_offset_by_length_[n_ + 1] = pairs_.size();
     // Lengths below 2 alias the first real group.
     pairs_offset_by_length_[0] = 0;
     pairs_offset_by_length_[1] = 0;
+  }
+
+  /// Index of pair `(i,j)` in `pairs_` (groups are length-major, then `i`).
+  [[nodiscard]] std::size_t pair_index(std::size_t i, std::size_t j) const {
+    return pairs_offset_by_length_[j - i] + i;
   }
 
   /// Sec. 5 window for iteration `t` (1-based): `l = ceil(t/2)`, lengths
@@ -159,153 +262,462 @@ class Engine final : public IEngine {
             pairs_offset_by_length_[hi_len + 1]};
   }
 
+  // ---- Per-cell kernels --------------------------------------------------
+  // Templated on `Instr`: with Instr = false, op counting and CREW
+  // reporting vanish at compile time and the kernel inlines into the
+  // worker loop of the fast path.
+
+  /// Full a-activate scan of one pair: both eq. 1a/1b targets for every
+  /// split `k`. In-place writes (activate targets are read by nobody
+  /// within the step). Returns the number of cells improved.
+  template <bool Instr>
+  std::uint64_t activate_pair(std::size_t i, std::size_t j,
+                              std::uint64_t& ops) {
+    std::uint64_t local_changed = 0;
+    // Both tables store every child gap (eq. 1a/1b write targets): the
+    // banded layout keeps out-of-band child gaps in a dedicated side
+    // store because the terminal pebble of a balanced node needs them
+    // (see pw_banded.hpp).
+    for (std::size_t k = i + 1; k <= j - 1; ++k) {
+      if constexpr (Instr) ops += 2;
+      const Cost fv = problem_.f(i, k, j);
+      const Cost w_right = w_(k, j);
+      if (is_finite(w_right)) {
+        const Cost cand = sat_add(fv, w_right);
+        if (cand < pw_.get(i, j, i, k)) {
+          pw_.set(i, j, i, k, cand);
+          if constexpr (Instr) machine_.note_write(pw_.address(i, j, i, k));
+          ++local_changed;
+        }
+      }
+      const Cost w_left = w_(i, k);
+      if (is_finite(w_left)) {
+        const Cost cand = sat_add(fv, w_left);
+        if (cand < pw_.get(i, j, k, j)) {
+          pw_.set(i, j, k, j, cand);
+          if constexpr (Instr) machine_.note_write(pw_.address(i, j, k, j));
+          ++local_changed;
+        }
+      }
+    }
+    return local_changed;
+  }
+
+  /// a-square candidate scan for one stored quadruple; returns the best
+  /// composition (callers write only if it beats `old_value`).
+  template <bool Instr>
+  Cost square_scan(const Quad& t, Cost old_value, std::uint64_t& ops) {
+    const std::size_t i = t.i, j = t.j, p = t.p, q = t.q;
+    Cost best = old_value;
+    if (options_.square_mode == SquareMode::kRytterFull) {
+      // Rytter: all intermediate gaps (r,s) with (p,q) ⊆ (r,s) ⊆ (i,j),
+      // excluding the two identities.
+      for (std::size_t r = i; r <= p; ++r) {
+        for (std::size_t s = q; s <= j; ++s) {
+          if (r == i && s == j) continue;
+          if (r == p && s == q) continue;
+          if constexpr (Instr) ++ops;
+          const Cost a = pw_.get(i, j, r, s);
+          if (!is_finite(a)) continue;
+          const Cost b = pw_.get(r, s, p, q);
+          best = sat_min(best, sat_add(a, b));
+        }
+      }
+    } else {
+      // HLV eq. (2c): intermediate shares the gap's row or column.
+      // Out-of-band operands are infinite, so r (resp. s) may be
+      // restricted to the B-window without changing the result.
+      const HlvWindow win = hlv_window(t);
+      for (std::size_t r = win.r_lo; r < p; ++r) {
+        if constexpr (Instr) ++ops;
+        const Cost a = pw_.get(i, j, r, q);
+        if (!is_finite(a)) continue;
+        const Cost b = pw_.get(r, q, p, q);
+        best = sat_min(best, sat_add(a, b));
+      }
+      for (std::size_t s = q + 1; s <= win.s_hi; ++s) {
+        if constexpr (Instr) ++ops;
+        const Cost a = pw_.get(i, j, p, s);
+        if (!is_finite(a)) continue;
+        const Cost b = pw_.get(p, s, p, q);
+        best = sat_min(best, sat_add(a, b));
+      }
+    }
+    return best;
+  }
+
+  /// a-pebble gap scan for one pair; returns the best pebbled cost
+  /// (callers write only if it beats `old_value`).
+  template <bool Instr>
+  Cost pebble_scan(std::size_t i, std::size_t j, Cost old_value,
+                   std::uint64_t& ops) {
+    Cost best = old_value;
+    pw_.for_each_gap(i, j, [&](std::size_t p, std::size_t q) {
+      if constexpr (Instr) ++ops;
+      const Cost a = pw_.get(i, j, p, q);
+      if (!is_finite(a)) return;
+      best = sat_min(best, sat_add(a, w_(p, q)));
+    });
+    return best;
+  }
+
+  // ---- Frontier bookkeeping ----------------------------------------------
+
+  /// Records that some `pw` entry of root `pair_idx` moved, for both
+  /// consumers: `root_dirty_` (read by a-pebble, sticky until the pair is
+  /// rescanned) and `pw_root_moved_` (read by the next a-square, cleared
+  /// wholesale at every square apply).
+  void mark_root_dirty(std::size_t pair_idx) {
+    root_dirty_[pair_idx].store(1, std::memory_order_relaxed);
+    pw_root_moved_[pair_idx].store(1, std::memory_order_relaxed);
+  }
+
+  /// True iff any operand root of quad `t` (its own root, or a
+  /// second-level root `(r,q)` / `(p,s)` in the HLV window) had a `pw`
+  /// entry move since the previous a-square scanned `t`. When false, every
+  /// candidate of `t` is unchanged and already min-applied, so the scan
+  /// can be skipped without affecting results or change counts.
+  [[nodiscard]] bool square_operands_moved(const Quad& t) const {
+    const std::size_t i = t.i, j = t.j, p = t.p, q = t.q;
+    const auto moved = [&](std::size_t a, std::size_t b) {
+      return pw_root_moved_[pair_index(a, b)].load(
+                 std::memory_order_relaxed) != 0;
+    };
+    if (moved(i, j)) return true;
+    const HlvWindow win = hlv_window(t);
+    for (std::size_t r = win.r_lo; r < p; ++r) {
+      if (moved(r, q)) return true;
+    }
+    for (std::size_t s = q + 1; s <= win.s_hi; ++s) {
+      if (moved(p, s)) return true;
+    }
+    return false;
+  }
+
+  /// Builds the 2-D containment counts of the last pebble's moved
+  /// `w` entries: `contained_(i,j)` = #moved `(p,q)` with `i<=p<q<=j`.
+  void build_contained_counts() {
+    const std::size_t stride = n_ + 1;
+    std::fill(w_moved_.begin(), w_moved_.end(), std::uint8_t{0});
+    for (const Pair e : frontier_) w_moved_[e.i * stride + e.j] = 1;
+    for (std::size_t i = n_ + 1; i-- > 0;) {
+      for (std::size_t j = 0; j <= n_; ++j) {
+        std::uint32_t v = w_moved_[i * stride + j];
+        if (i < n_) v += contained_[(i + 1) * stride + j];
+        if (j > 0) v += contained_[i * stride + (j - 1)];
+        if (i < n_ && j > 0) v -= contained_[(i + 1) * stride + (j - 1)];
+        contained_[i * stride + j] = v;
+      }
+    }
+  }
+
+  /// True iff some moved `w(p,q)` is a proper sub-interval of `(i,j)` —
+  /// i.e. a (potential) stored gap whose weight the last pebble changed.
+  [[nodiscard]] bool gap_w_moved(std::size_t i, std::size_t j) const {
+    const std::size_t at = i * (n_ + 1) + j;
+    return contained_[at] > w_moved_[at];
+  }
+
+  // ---- Step drivers ------------------------------------------------------
+
   std::uint64_t run_activate() {
+    if (frontier_enabled_) {
+      // Frontier-driven activate touches one site per (moved entry,
+      // affected root); a full sweep touches every (pair, split) twice.
+      // Fall back to the full sweep when the frontier is dense.
+      std::uint64_t frontier_sites = 0;
+      for (const Pair e : frontier_) frontier_sites += e.i + (n_ - e.j);
+      if (frontier_sites < total_split_sites_) return run_activate_frontier();
+    }
     std::atomic<std::uint64_t> changed{0};
-    machine_.step(
-        "a-activate", static_cast<std::int64_t>(pairs_.size()),
-        [&](std::int64_t idx) -> std::uint64_t {
-          const Pair pr = pairs_[static_cast<std::size_t>(idx)];
-          const std::size_t i = pr.i;
-          const std::size_t j = pr.j;
-          std::uint64_t ops = 0;
-          std::uint64_t local_changed = 0;
-          // Both tables store every child gap (eq. 1a/1b write targets):
-          // the banded layout keeps out-of-band child gaps in a dedicated
-          // side store because the terminal pebble of a balanced node
-          // needs them (see pw_banded.hpp).
-          for (std::size_t k = i + 1; k <= j - 1; ++k) {
-            ops += 2;
-            const Cost fv = problem_.f(i, k, j);
-            const Cost w_right = w_(k, j);
-            if (is_finite(w_right)) {
-              const Cost cand = sat_add(fv, w_right);
-              if (cand < pw_.get(i, j, i, k)) {
-                pw_.set(i, j, i, k, cand);
-                machine_.note_write(pw_.address(i, j, i, k));
-                ++local_changed;
-              }
+    if (machine_.instrumented()) {
+      machine_.step(
+          "a-activate", static_cast<std::int64_t>(pairs_.size()),
+          [&](std::int64_t idx) -> std::uint64_t {
+            const Pair pr = pairs_[static_cast<std::size_t>(idx)];
+            std::uint64_t ops = 0;
+            const std::uint64_t local = activate_pair<true>(pr.i, pr.j, ops);
+            if (local > 0) {
+              changed.fetch_add(local, std::memory_order_relaxed);
             }
-            const Cost w_left = w_(i, k);
-            if (is_finite(w_left)) {
-              const Cost cand = sat_add(fv, w_left);
-              if (cand < pw_.get(i, j, k, j)) {
-                pw_.set(i, j, k, j, cand);
-                machine_.note_write(pw_.address(i, j, k, j));
-                ++local_changed;
+            return ops;
+          });
+    } else {
+      machine_.run_blocks(
+          static_cast<std::int64_t>(pairs_.size()),
+          [&](std::int64_t lo, std::int64_t hi) {
+            std::uint64_t block_changed = 0;
+            std::uint64_t ops = 0;
+            for (std::int64_t idx = lo; idx < hi; ++idx) {
+              const Pair pr = pairs_[static_cast<std::size_t>(idx)];
+              const std::uint64_t local =
+                  activate_pair<false>(pr.i, pr.j, ops);
+              if (local > 0 && frontier_enabled_) {
+                mark_root_dirty(static_cast<std::size_t>(idx));
+              }
+              block_changed += local;
+            }
+            if (block_changed > 0) {
+              changed.fetch_add(block_changed, std::memory_order_relaxed);
+            }
+          });
+    }
+    return changed.load();
+  }
+
+  /// Fast-path activate driven by the moved-`w` frontier: each moved
+  /// entry (a,b) re-evaluates only the sites that read it — as the right
+  /// child of roots (i,b) for i < a (target pw(i,b,i,a)) and as the left
+  /// child of roots (a,j) for j > b (target pw(a,j,b,j)). All other
+  /// sites' candidates are unchanged and, by monotonicity, already
+  /// applied. Two logical processors per moved entry; the targets are
+  /// pairwise distinct, so the step stays CREW.
+  std::uint64_t run_activate_frontier() {
+    std::atomic<std::uint64_t> changed{0};
+    const std::size_t m = frontier_.size();
+    machine_.run_blocks(
+        static_cast<std::int64_t>(2 * m),
+        [&](std::int64_t lo, std::int64_t hi) {
+          std::uint64_t block_changed = 0;
+          for (std::int64_t idx = lo; idx < hi; ++idx) {
+            const Pair e = frontier_[static_cast<std::size_t>(idx >> 1)];
+            const std::size_t a = e.i, b = e.j;
+            const Cost wv = w_(a, b);  // finite: it just moved
+            if ((idx & 1) == 0) {
+              for (std::size_t i = a; i-- > 0;) {
+                const Cost cand = sat_add(problem_.f(i, a, b), wv);
+                if (cand < pw_.get(i, b, i, a)) {
+                  pw_.set(i, b, i, a, cand);
+                  mark_root_dirty(pair_index(i, b));
+                  ++block_changed;
+                }
+              }
+            } else {
+              for (std::size_t j = b + 1; j <= n_; ++j) {
+                const Cost cand = sat_add(problem_.f(a, b, j), wv);
+                if (cand < pw_.get(a, j, b, j)) {
+                  pw_.set(a, j, b, j, cand);
+                  mark_root_dirty(pair_index(a, j));
+                  ++block_changed;
+                }
               }
             }
           }
-          if (local_changed > 0) {
-            changed.fetch_add(local_changed, std::memory_order_relaxed);
+          if (block_changed > 0) {
+            changed.fetch_add(block_changed, std::memory_order_relaxed);
           }
-          return ops;
         });
     return changed.load();
   }
 
   std::uint64_t run_square() {
-    std::atomic<std::uint64_t> changed{0};
-    pw_next_.copy_from(pw_);
     const auto& quads = pw_.entries();
-    const bool full_square = options_.square_mode == SquareMode::kRytterFull;
-    const std::size_t maxs = pw_.max_slack();
-    machine_.step(
-        "a-square", static_cast<std::int64_t>(quads.size()),
-        [&](std::int64_t idx) -> std::uint64_t {
-          const Quad t = quads[static_cast<std::size_t>(idx)];
-          const std::size_t i = t.i, j = t.j, p = t.p, q = t.q;
-          const Cost old_value = pw_.get(i, j, p, q);
-          Cost best = old_value;
-          std::uint64_t ops = 0;
-          if (full_square) {
-            // Rytter: all intermediate gaps (r,s) with (p,q) ⊆ (r,s) ⊆
-            // (i,j), excluding the two identities.
-            for (std::size_t r = i; r <= p; ++r) {
-              for (std::size_t s = q; s <= j; ++s) {
-                if (r == i && s == j) continue;
-                if (r == p && s == q) continue;
-                ++ops;
-                const Cost a = pw_.get(i, j, r, s);
-                if (!is_finite(a)) continue;
-                const Cost b = pw_.get(r, s, p, q);
-                best = sat_min(best, sat_add(a, b));
+    if (!delta_) {
+      // Reference mode: full-table copy + swap double-buffering.
+      std::atomic<std::uint64_t> changed{0};
+      pw_next_->copy_from(pw_);
+      machine_.step(
+          "a-square", static_cast<std::int64_t>(quads.size()),
+          [&](std::int64_t idx) -> std::uint64_t {
+            const Quad t = quads[static_cast<std::size_t>(idx)];
+            const Cost old_value = pw_.get(t.i, t.j, t.p, t.q);
+            std::uint64_t ops = 0;
+            const Cost best = square_scan<true>(t, old_value, ops);
+            if (best < old_value) {
+              pw_next_->set(t.i, t.j, t.p, t.q, best);
+              machine_.note_write(pw_.address(t.i, t.j, t.p, t.q));
+              changed.fetch_add(1, std::memory_order_relaxed);
+            }
+            return ops;
+          });
+      std::swap(pw_, *pw_next_);
+      return changed.load();
+    }
+
+    // Delta-buffered: reads see pre-step state because all writes are
+    // deferred to the post-barrier apply below.
+    pw_log_count_.store(0, std::memory_order_relaxed);
+    if (machine_.instrumented()) {
+      machine_.step(
+          "a-square", static_cast<std::int64_t>(quads.size()),
+          [&](std::int64_t idx) -> std::uint64_t {
+            const Quad t = quads[static_cast<std::size_t>(idx)];
+            const Cost old_value = pw_.get(t.i, t.j, t.p, t.q);
+            std::uint64_t ops = 0;
+            const Cost best = square_scan<true>(t, old_value, ops);
+            if (best < old_value) {
+              pw_log_[pw_log_count_.fetch_add(1, std::memory_order_relaxed)] =
+                  Delta{static_cast<std::uint32_t>(idx), best};
+              machine_.note_write(pw_.address(t.i, t.j, t.p, t.q));
+            }
+            return ops;
+          });
+    } else {
+      // HLV-mode quads can consult the operand-movement marks; the first
+      // square has no marks yet and scans everything.
+      const bool skip_clean = frontier_enabled_ && square_frontier_ready_ &&
+                              options_.square_mode == SquareMode::kHlvOneLevel;
+      machine_.run_blocks(
+          static_cast<std::int64_t>(quads.size()),
+          [&](std::int64_t lo, std::int64_t hi) {
+            std::uint64_t ops = 0;
+            for (std::int64_t idx = lo; idx < hi; ++idx) {
+              const Quad t = quads[static_cast<std::size_t>(idx)];
+              if (skip_clean && !square_operands_moved(t)) continue;
+              const Cost old_value = pw_.get(t.i, t.j, t.p, t.q);
+              const Cost best = square_scan<false>(t, old_value, ops);
+              if (best < old_value) {
+                pw_log_[pw_log_count_.fetch_add(
+                    1, std::memory_order_relaxed)] =
+                    Delta{static_cast<std::uint32_t>(idx), best};
               }
             }
-          } else {
-            // HLV eq. (2c): intermediate shares the gap's row or column.
-            // Out-of-band operands are infinite, so r (resp. s) may be
-            // restricted to the B-window without changing the result.
-            const std::size_t r_lo = p > maxs && p - maxs > i ? p - maxs : i;
-            for (std::size_t r = r_lo; r < p; ++r) {
-              ++ops;
-              const Cost a = pw_.get(i, j, r, q);
-              if (!is_finite(a)) continue;
-              const Cost b = pw_.get(r, q, p, q);
-              best = sat_min(best, sat_add(a, b));
-            }
-            const std::size_t s_hi = q + maxs < j ? q + maxs : j;
-            for (std::size_t s = q + 1; s <= s_hi; ++s) {
-              ++ops;
-              const Cost a = pw_.get(i, j, p, s);
-              if (!is_finite(a)) continue;
-              const Cost b = pw_.get(p, s, p, q);
-              best = sat_min(best, sat_add(a, b));
-            }
-          }
-          if (best < old_value) {
-            pw_next_.set(i, j, p, q, best);
-            machine_.note_write(pw_.address(i, j, p, q));
-            changed.fetch_add(1, std::memory_order_relaxed);
-          }
-          return ops;
-        });
-    std::swap(pw_, pw_next_);
-    return changed.load();
+          });
+    }
+    // Apply after the barrier: one write per improved cell, all distinct.
+    const std::size_t logged = pw_log_count_.load(std::memory_order_relaxed);
+    if (frontier_enabled_) {
+      // This square consumed all accumulated movement marks; the next one
+      // must see only its own applies plus the next activate's writes.
+      for (std::size_t k = 0; k < pairs_.size(); ++k) {
+        pw_root_moved_[k].store(0, std::memory_order_relaxed);
+      }
+      square_frontier_ready_ = true;
+    }
+    Cost* raw = pw_.raw_cells();
+    for (std::size_t k = 0; k < logged; ++k) {
+      const Delta rec = pw_log_[k];
+      raw[entry_slots_[rec.index]] = rec.value;
+      if (frontier_enabled_) {
+        const Quad t = quads[rec.index];
+        mark_root_dirty(pair_index(t.i, t.j));
+      }
+    }
+    return logged;
   }
 
   std::uint64_t run_pebble() {
-    std::atomic<std::uint64_t> changed{0};
     const auto [w_begin, w_end] = pebble_window();
-    if (w_begin == w_end) return 0;
-    w_next_ = w_;
-    machine_.step(
-        "a-pebble", static_cast<std::int64_t>(w_end - w_begin),
-        [&, w_begin = w_begin](std::int64_t idx) -> std::uint64_t {
-          const Pair pr = pairs_[w_begin + static_cast<std::size_t>(idx)];
-          const std::size_t i = pr.i;
-          const std::size_t j = pr.j;
-          const Cost old_value = w_(i, j);
-          Cost best = old_value;
-          std::uint64_t ops = 0;
-          pw_.for_each_gap(i, j, [&](std::size_t p, std::size_t q) {
-            ++ops;
-            const Cost a = pw_.get(i, j, p, q);
-            if (!is_finite(a)) return;
-            best = sat_min(best, sat_add(a, w_(p, q)));
+    if (w_begin == w_end) {
+      if (frontier_enabled_) frontier_.clear();
+      return 0;
+    }
+    if (!delta_) {
+      // Reference mode: full w copy + swap double-buffering.
+      std::atomic<std::uint64_t> changed{0};
+      w_next_ = w_;
+      machine_.step(
+          "a-pebble", static_cast<std::int64_t>(w_end - w_begin),
+          [&, w_begin = w_begin](std::int64_t idx) -> std::uint64_t {
+            const Pair pr = pairs_[w_begin + static_cast<std::size_t>(idx)];
+            const Cost old_value = w_(pr.i, pr.j);
+            std::uint64_t ops = 0;
+            const Cost best = pebble_scan<true>(pr.i, pr.j, old_value, ops);
+            if (best < old_value) {
+              w_next_(pr.i, pr.j) = best;
+              machine_.note_write(
+                  kWAddressTag |
+                  (static_cast<std::uint64_t>(pr.i) * (n_ + 1) + pr.j));
+              changed.fetch_add(1, std::memory_order_relaxed);
+            }
+            return ops;
           });
-          if (best < old_value) {
-            w_next_(i, j) = best;
-            machine_.note_write(kWAddressTag |
-                                (static_cast<std::uint64_t>(i) * (n_ + 1) +
-                                 j));
-            changed.fetch_add(1, std::memory_order_relaxed);
-          }
-          return ops;
-        });
-    std::swap(w_, w_next_);
-    return changed.load();
+      std::swap(w_, w_next_);
+      return changed.load();
+    }
+
+    w_log_count_.store(0, std::memory_order_relaxed);
+    if (machine_.instrumented()) {
+      machine_.step(
+          "a-pebble", static_cast<std::int64_t>(w_end - w_begin),
+          [&, w_begin = w_begin](std::int64_t idx) -> std::uint64_t {
+            const std::size_t at = w_begin + static_cast<std::size_t>(idx);
+            const Pair pr = pairs_[at];
+            const Cost old_value = w_(pr.i, pr.j);
+            std::uint64_t ops = 0;
+            const Cost best = pebble_scan<true>(pr.i, pr.j, old_value, ops);
+            if (best < old_value) {
+              w_log_[w_log_count_.fetch_add(1, std::memory_order_relaxed)] =
+                  Delta{static_cast<std::uint32_t>(at), best};
+              machine_.note_write(
+                  kWAddressTag |
+                  (static_cast<std::uint64_t>(pr.i) * (n_ + 1) + pr.j));
+            }
+            return ops;
+          });
+    } else {
+      const bool use_frontier = frontier_enabled_;
+      if (use_frontier) build_contained_counts();
+      machine_.run_blocks(
+          static_cast<std::int64_t>(w_end - w_begin),
+          [&, w_begin = w_begin](std::int64_t lo, std::int64_t hi) {
+            std::uint64_t ops = 0;
+            for (std::int64_t idx = lo; idx < hi; ++idx) {
+              const std::size_t at = w_begin + static_cast<std::size_t>(idx);
+              const Pair pr = pairs_[at];
+              if (use_frontier) {
+                // Skip unless some input moved: a pw entry of this root
+                // (activate/square this iteration, sticky until rescanned)
+                // or the w of a contained gap (last pebble).
+                const bool pw_moved =
+                    root_dirty_[at].load(std::memory_order_relaxed) != 0;
+                if (!pw_moved && !gap_w_moved(pr.i, pr.j)) continue;
+                if (pw_moved) {
+                  root_dirty_[at].store(0, std::memory_order_relaxed);
+                }
+              }
+              const Cost old_value = w_(pr.i, pr.j);
+              const Cost best =
+                  pebble_scan<false>(pr.i, pr.j, old_value, ops);
+              if (best < old_value) {
+                w_log_[w_log_count_.fetch_add(1, std::memory_order_relaxed)] =
+                    Delta{static_cast<std::uint32_t>(at), best};
+              }
+            }
+          });
+    }
+    // Apply after the barrier; the logged pairs are the next frontier.
+    const std::size_t logged = w_log_count_.load(std::memory_order_relaxed);
+    if (frontier_enabled_) frontier_.clear();
+    Cost* wraw = w_.data();
+    for (std::size_t k = 0; k < logged; ++k) {
+      const Delta rec = w_log_[k];
+      const Pair pr = pairs_[rec.index];
+      wraw[pr.i * (n_ + 1) + pr.j] = rec.value;
+      if (frontier_enabled_) frontier_.push_back(pr);
+    }
+    return logged;
   }
 
   const dp::Problem& problem_;
   SublinearOptions options_;
   pram::Machine& machine_;
   std::size_t n_;
+  bool delta_;
   Table pw_;
-  Table pw_next_;
+  std::optional<Table> pw_next_;    ///< Reference copy-based mode only.
   support::Grid2D<Cost> w_;
-  support::Grid2D<Cost> w_next_;
+  support::Grid2D<Cost> w_next_;    ///< Reference copy-based mode only.
   std::vector<Pair> pairs_;
   std::vector<std::size_t> pairs_offset_by_length_;
+
+  // Delta-buffered stepping state (delta_ == true).
+  std::vector<std::uint32_t> entry_slots_;  ///< Storage slot per square entry.
+  std::vector<Delta> pw_log_;
+  std::vector<Delta> w_log_;
+  std::atomic<std::size_t> pw_log_count_{0};
+  std::atomic<std::size_t> w_log_count_{0};
+
+  // Frontier state (frontier_enabled_ == true).
+  bool frontier_enabled_ = false;
+  bool square_frontier_ready_ = false;  ///< First square has no marks yet.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> root_dirty_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> pw_root_moved_;
+  std::vector<Pair> frontier_;  ///< w entries moved by the last pebble.
+  std::vector<std::uint8_t> w_moved_;
+  std::vector<std::uint32_t> contained_;
+  std::uint64_t total_split_sites_ = 0;
+
   std::size_t iteration_ = 0;
 };
 

@@ -18,10 +18,16 @@
 /// size — potentially far above `B`. The paper's own pebble-step bound
 /// (O(n^{1.5}) pairs x O(n^2) gap candidates) implicitly keeps those
 /// entries available; we store them in a dedicated child-gap side table
-/// (O(n^3) cells, written by a-activate, read by a-pebble and as square
-/// operands) — without it, instances whose optimal trees contain balanced
-/// splits wider than `B` converge to a wrong fixed point, which
+/// (written by a-activate, read by a-pebble and as square operands) —
+/// without it, instances whose optimal trees contain balanced splits wider
+/// than `B` converge to a wrong fixed point, which
 /// `test_core_sublinear.cpp` demonstrates via the band-sensitivity tests.
+///
+/// Each child-gap family is keyed by a triple `(i, k, j)` with
+/// `i < k < j <= n` (root `(i,j)`, inner boundary `k`), so the side stores
+/// use tetrahedral `C(n+1,3)` indexing rather than a flat `(n+1)^3` cube —
+/// a ~6x memory cut per family that also shrinks the per-iteration working
+/// set the pebble step streams through.
 ///
 /// Layout of the banded part: for root length `L` and left end `i`, the
 /// block holds slacks `s = 1 .. min(B, L-1)` contiguously, each with its
@@ -96,6 +102,20 @@ class BandedPwTable {
     return kRightChildTag | static_cast<std::uint64_t>(child_flat(i, j, p));
   }
 
+  /// Storage slot of a stored in-band (square-step) entry; an index into
+  /// `raw_cells`. Lets the engine apply a write log without re-deriving
+  /// the banded layout. Child-gap entries are not square targets and have
+  /// no slot here.
+  [[nodiscard]] std::size_t entry_slot(std::size_t i, std::size_t j,
+                                       std::size_t p, std::size_t q) const {
+    const std::size_t s = (j - i) - (q - p);
+    SUBDP_ASSERT(s <= band_);
+    return flat(i, j, p, s);
+  }
+
+  /// Direct in-band cell storage (write-log apply path).
+  [[nodiscard]] Cost* raw_cells() noexcept { return cells_.data(); }
+
   /// Allocated cells across all stores (E7 memory metric).
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return cells_.size() + left_child_cells_.size() +
@@ -163,17 +183,23 @@ class BandedPwTable {
   /// Child-gap cell for root `(i,j)` and inner gap boundary `k`; gap
   /// `(i,k)` lives in `left_child_cells_`, gap `(k,j)` in
   /// `right_child_cells_` (for long roots both can be out of band at the
-  /// same `k`, so the families must not share storage).
+  /// same `k`, so the families must not share storage). Both families are
+  /// keyed by the ordered triple `(i, k, j)`, indexed tetrahedrally:
+  /// triples sort by `i`, then `k`, then `j`, giving `C(n+1,3)` slots.
   [[nodiscard]] std::size_t child_flat(std::size_t i, std::size_t j,
                                        std::size_t k) const {
-    SUBDP_ASSERT(i < k && k < j);
-    return (i * (n_ + 1) + j) * (n_ + 1) + k;
+    SUBDP_ASSERT(i < k && k < j && j <= n_);
+    // Within the `i` block, boundary `k` owns `n - k` slots (one per
+    // `j > k`); offset of `k`'s row: sum_{b=i+1..k-1} (n - b).
+    const std::size_t row = (k - i - 1) * (2 * n_ - i - k) / 2;
+    return tetra_base_[i] + row + (j - k - 1);
   }
 
   std::size_t n_;
   std::size_t band_;
   std::size_t out_of_band_child_count_ = 0;
   std::vector<std::size_t> length_base_;  ///< Cumulative block offsets.
+  std::vector<std::size_t> tetra_base_;   ///< Child-store offsets per `i`.
   std::vector<Cost> cells_;
   std::vector<Cost> left_child_cells_;
   std::vector<Cost> right_child_cells_;

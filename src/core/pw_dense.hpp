@@ -62,6 +62,17 @@ class DensePwTable {
     return static_cast<std::uint64_t>(flat(i, j, p, q));
   }
 
+  /// Storage slot of a stored square-step entry (index into `raw_cells`).
+  /// Lets the engine apply a write log without re-deriving the layout.
+  [[nodiscard]] std::size_t entry_slot(std::size_t i, std::size_t j,
+                                       std::size_t p, std::size_t q) const {
+    SUBDP_ASSERT(stores(i, j, p, q));
+    return flat(i, j, p, q);
+  }
+
+  /// Direct cell storage (write-log apply path).
+  [[nodiscard]] Cost* raw_cells() noexcept { return cells_.data(); }
+
   /// Number of allocated cells (the memory-footprint metric for E7).
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return cells_.size();

@@ -74,6 +74,20 @@ struct SublinearOptions {
   /// termination (the window makes per-iteration change useless as a
   /// stopping signal).
   bool windowed_pebble = false;
+  /// Hot-path tuning (see the "Performance architecture" notes atop
+  /// engine.hpp). Both default on; turning one off selects the reference
+  /// implementation of that mechanism, which the equivalence tests compare
+  /// against. Neither affects results, iteration counts, or the ledger.
+  ///
+  /// Delta buffering: a-square and a-pebble record `(cell, new value)`
+  /// write logs during the step and apply them after the barrier, instead
+  /// of copying the full table every iteration.
+  bool delta_buffering = true;
+  /// Frontier sweeps: a-activate and a-pebble skip sites none of whose
+  /// inputs moved since the site was last scanned. Only engaged on the
+  /// fast path (no CREW checker, no cost ledger) and without the windowed
+  /// pebble schedule, so checked-mode accounting is unchanged.
+  bool frontier_sweeps = true;
   /// Host execution / accounting configuration.
   pram::MachineOptions machine;
 };

@@ -17,6 +17,9 @@ SublinearSolver::SublinearSolver(SublinearOptions options)
 
 void SublinearSolver::prepare(const dp::Problem& problem) {
   n_ = problem.size();
+  SUBDP_REQUIRE(n_ <= kMaxPackedN,
+                "instance too large: the packed pw-table coordinates "
+                "(core::Quad) support n <= 65535");
   trace_.clear();
   machine_.reset();
   bound_ = support::two_ceil_sqrt(n_);

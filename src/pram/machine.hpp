@@ -13,6 +13,16 @@
 /// cost of performing each processor's candidate scan as a balanced binary
 /// reduction, which is how the paper obtains its `O(n^k / log n)` processor
 /// bounds via Brent's theorem.
+///
+/// Two execution paths share these semantics:
+///  * `step` — the checked/instrumented mode: the body is a `std::function`
+///    reporting per-processor op counts; the ledger and (optionally) the
+///    CREW checker observe every step.
+///  * `run_blocks` — the fast path used when `instrumented()` is false: the
+///    body is a template parameter invoked once per block, so the per-cell
+///    kernel inlines into the worker loop and op-counting / `note_write`
+///    bookkeeping compile down to nothing. Results are identical by
+///    construction; only the accounting differs.
 
 #include <cstdint>
 #include <functional>
@@ -22,6 +32,7 @@
 #include "pram/backend.hpp"
 #include "pram/cost_model.hpp"
 #include "pram/crew_checker.hpp"
+#include "pram/parallel.hpp"
 
 namespace subdp::pram {
 
@@ -51,6 +62,25 @@ class Machine {
   /// a no-op unless CREW checking is enabled.
   void note_write(std::uint64_t address) {
     if (crew_) crew_->record_write(address);
+  }
+
+  /// True when per-op accounting is active (CREW checking or the cost
+  /// ledger). When false, callers may use `run_blocks` and skip op
+  /// counting entirely.
+  [[nodiscard]] bool instrumented() const noexcept {
+    return crew_ != nullptr || options_.record_costs;
+  }
+
+  /// Fast-path step: runs `body(block_begin, block_end)` over `[0, n)` on
+  /// the configured backend with no ledger or CREW bookkeeping. The body
+  /// type is a template parameter, so per-cell work inlines into the
+  /// worker loop. Intended for `instrumented() == false` runs; semantics
+  /// (coverage, synchronisation at return) match `step`.
+  template <class BlockBody>
+  void run_blocks(std::int64_t n, BlockBody&& body) {
+    if (n <= 0) return;
+    parallel_for_blocked(options_.backend, 0, n, 0,
+                         std::forward<BlockBody>(body));
   }
 
   [[nodiscard]] Backend backend() const noexcept {

@@ -56,7 +56,7 @@ void ThreadPool::run_chunks() {
     if (chunk_begin >= job_end_) return;
     const std::int64_t chunk_end = std::min(chunk_begin + job_grain_, job_end_);
     try {
-      (*body_)(chunk_begin, chunk_end);
+      body_fn_(body_ctx_, chunk_begin, chunk_end);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(error_mutex_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -64,9 +64,9 @@ void ThreadPool::run_chunks() {
   }
 }
 
-void ThreadPool::parallel_for(
-    std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(std::int64_t, std::int64_t)>& body) {
+void ThreadPool::parallel_for_erased(std::int64_t begin, std::int64_t end,
+                                     std::int64_t grain, BlockFn fn,
+                                     void* ctx) {
   if (begin >= end) return;
   const std::int64_t n = end - begin;
   if (grain <= 0) {
@@ -76,13 +76,14 @@ void ThreadPool::parallel_for(
     grain = std::max<std::int64_t>(1, n / std::max<std::int64_t>(1, target));
   }
   if (workers_.empty() || n <= grain) {
-    body(begin, end);
+    fn(ctx, begin, end);
     return;
   }
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    body_ = &body;
+    body_fn_ = fn;
+    body_ctx_ = ctx;
     job_begin_ = begin;
     job_end_ = end;
     job_grain_ = grain;
@@ -101,7 +102,8 @@ void ThreadPool::parallel_for(
     done_cv_.wait(lock, [&] {
       return workers_active_.load(std::memory_order_acquire) == 0;
     });
-    body_ = nullptr;
+    body_fn_ = nullptr;
+    body_ctx_ = nullptr;
   }
   if (first_error_) std::rethrow_exception(first_error_);
 }

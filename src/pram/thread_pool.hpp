@@ -9,14 +9,21 @@
 /// every chunk has run. Chunks are claimed with a single `fetch_add`, so
 /// load imbalance between chunks is absorbed dynamically. Exceptions thrown
 /// by the body are captured and rethrown on the calling thread.
+///
+/// `parallel_for` is a template over the body type: the job is published as
+/// a raw `(function pointer, context)` pair, so dispatch costs one indirect
+/// call per *chunk* while the per-index loop inside the body inlines into
+/// the worker — no `std::function` allocation or per-cell type erasure on
+/// the hot path. `std::function` bodies still work (they are callables).
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace subdp::pram {
@@ -40,13 +47,29 @@ class ThreadPool {
   /// Runs `body(chunk_begin, chunk_end)` over `[begin, end)` split into
   /// chunks of at most `grain` indices (grain 0 = choose automatically).
   /// Blocks until all chunks have completed.
+  template <class Body>
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                    const std::function<void(std::int64_t, std::int64_t)>& body);
+                    Body&& body) {
+    using Fn = std::remove_reference_t<Body>;
+    parallel_for_erased(
+        begin, end, grain,
+        [](void* ctx, std::int64_t lo, std::int64_t hi) {
+          (*static_cast<Fn*>(ctx))(lo, hi);
+        },
+        const_cast<std::remove_const_t<Fn>*>(std::addressof(body)));
+  }
 
   /// Process-wide shared pool, created on first use.
   static ThreadPool& shared();
 
  private:
+  /// One chunk of the published job: `fn(ctx, lo, hi)`.
+  using BlockFn = void (*)(void*, std::int64_t, std::int64_t);
+
+  /// Type-erased core of `parallel_for` (one erased call per chunk).
+  void parallel_for_erased(std::int64_t begin, std::int64_t end,
+                           std::int64_t grain, BlockFn fn, void* ctx);
+
   void worker_loop();
   void run_chunks();
 
@@ -56,7 +79,8 @@ class ThreadPool {
   std::condition_variable done_cv_;
 
   // Current job, valid while generation_ is odd-stepped per dispatch.
-  const std::function<void(std::int64_t, std::int64_t)>* body_ = nullptr;
+  BlockFn body_fn_ = nullptr;
+  void* body_ctx_ = nullptr;
   std::int64_t job_begin_ = 0;
   std::int64_t job_end_ = 0;
   std::int64_t job_grain_ = 1;

@@ -1,0 +1,234 @@
+// Equivalence tests for the hot-path engine mechanisms (core/engine.hpp):
+// delta-buffered stepping vs copy-based double buffering, frontier-driven
+// vs full sweeps, and serial vs thread-pool execution must all produce
+// identical solver output — the same w table, cost, iteration count, and
+// per-iteration change counts — across every instance family in
+// bench/common.hpp and both pw-table layouts. The fast path is engaged by
+// turning the cost ledger off (`record_costs = false`); checked /
+// instrumented runs keep full sweeps, whose ledger must be unaffected by
+// delta buffering.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/sublinear_solver.hpp"
+#include "dp/sequential.hpp"
+#include "support/rng.hpp"
+
+namespace subdp::core {
+namespace {
+
+struct EngineConfig {
+  std::string name;
+  bool delta = true;
+  bool frontier = true;
+  bool record_costs = false;
+  pram::Backend backend = pram::Backend::kSerial;
+};
+
+SublinearResult run_config(const dp::Problem& problem,
+                           const EngineConfig& config, PwVariant variant) {
+  SublinearOptions options;
+  options.variant = variant;
+  options.delta_buffering = config.delta;
+  options.frontier_sweeps = config.frontier;
+  options.machine.record_costs = config.record_costs;
+  options.machine.backend = config.backend;
+  SublinearSolver solver(options);
+  return solver.solve(problem);
+}
+
+void expect_identical(const SublinearResult& ref, const SublinearResult& got,
+                      const std::string& label) {
+  EXPECT_EQ(ref.cost, got.cost) << label;
+  EXPECT_EQ(ref.iterations, got.iterations) << label;
+  EXPECT_TRUE(ref.w == got.w) << label << ": w tables differ";
+  ASSERT_EQ(ref.trace.size(), got.trace.size()) << label;
+  for (std::size_t t = 0; t < ref.trace.size(); ++t) {
+    EXPECT_EQ(ref.trace[t].pw_cells_changed, got.trace[t].pw_cells_changed)
+        << label << " iteration " << t + 1;
+    EXPECT_EQ(ref.trace[t].w_cells_changed, got.trace[t].w_cells_changed)
+        << label << " iteration " << t + 1;
+  }
+}
+
+// The reference configuration is the seed engine's stepping scheme:
+// copy-based double buffering, full sweeps, instrumented.
+EngineConfig reference_config() {
+  return {"reference(copy,full,counted,serial)", false, false, true,
+          pram::Backend::kSerial};
+}
+
+std::vector<EngineConfig> variant_configs() {
+  return {
+      {"delta,full,counted,serial", true, false, true, pram::Backend::kSerial},
+      {"delta,full,fast,serial", true, false, false, pram::Backend::kSerial},
+      {"delta,frontier,fast,serial", true, true, false,
+       pram::Backend::kSerial},
+      {"copy,full,fast,serial", false, false, false, pram::Backend::kSerial},
+      {"delta,frontier,fast,threads", true, true, false,
+       pram::Backend::kThreadPool},
+      {"delta,full,counted,threads", true, false, true,
+       pram::Backend::kThreadPool},
+  };
+}
+
+TEST(FastPath, AllConfigurationsAgreeOnEveryFamilyBanded) {
+  for (const std::string& family : bench::instance_families()) {
+    support::Rng rng(2024);
+    const auto problem = bench::make_instance(family, 33, rng);
+    const auto ref =
+        run_config(*problem, reference_config(), PwVariant::kBanded);
+    EXPECT_EQ(ref.cost, dp::solve_sequential(*problem).cost) << family;
+    for (const EngineConfig& config : variant_configs()) {
+      const auto got = run_config(*problem, config, PwVariant::kBanded);
+      expect_identical(ref, got, family + " / " + config.name);
+    }
+  }
+}
+
+TEST(FastPath, AllConfigurationsAgreeOnEveryFamilyDense) {
+  for (const std::string& family : bench::instance_families()) {
+    support::Rng rng(77);
+    const auto problem = bench::make_instance(family, 18, rng);
+    const auto ref =
+        run_config(*problem, reference_config(), PwVariant::kDense);
+    for (const EngineConfig& config : variant_configs()) {
+      const auto got = run_config(*problem, config, PwVariant::kDense);
+      expect_identical(ref, got, family + " / " + config.name);
+    }
+  }
+}
+
+TEST(FastPath, PwTablesMatchCellByCell) {
+  // Beyond the w table: step both engines side by side and compare every
+  // stored pw entry after each iteration.
+  support::Rng rng(99);
+  const std::size_t n = 20;
+  const auto problem = bench::make_instance("matrix-chain", n, rng);
+
+  SublinearOptions ref_options;
+  ref_options.delta_buffering = false;
+  ref_options.frontier_sweeps = false;
+  SublinearOptions fast_options;
+  fast_options.machine.record_costs = false;
+
+  SublinearSolver ref(ref_options);
+  SublinearSolver fast(fast_options);
+  ref.prepare(*problem);
+  fast.prepare(*problem);
+  ASSERT_EQ(ref.effective_band(), fast.effective_band());
+  const std::size_t band = ref.effective_band();
+
+  for (std::size_t iter = 0; iter < ref.iteration_bound(); ++iter) {
+    (void)ref.step();
+    (void)fast.step();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 2; j <= n; ++j) {
+        for (std::size_t p = i; p < j; ++p) {
+          for (std::size_t q = p + 1; q <= j; ++q) {
+            if (p == i && q == j) continue;
+            const bool stored =
+                (j - i) - (q - p) <= band || p == i || q == j;
+            if (!stored) continue;
+            ASSERT_EQ(ref.current_pw(i, j, p, q), fast.current_pw(i, j, p, q))
+                << "iteration " << iter + 1 << " pw(" << i << "," << j << ","
+                << p << "," << q << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FastPath, DeltaBufferingLeavesTheLedgerUnchanged) {
+  // Checked-mode accounting (work, depth, step sequence) must be
+  // identical whether steps double-buffer by copy or by write log.
+  support::Rng rng(7);
+  const auto problem = bench::make_instance("optimal-bst", 24, rng);
+  SublinearOptions copy_options;
+  copy_options.delta_buffering = false;
+  copy_options.frontier_sweeps = false;
+  SublinearOptions delta_options;
+  delta_options.delta_buffering = true;
+
+  SublinearSolver copy_solver(copy_options);
+  SublinearSolver delta_solver(delta_options);
+  (void)copy_solver.solve(*problem);
+  (void)delta_solver.solve(*problem);
+
+  const auto& a = copy_solver.machine().costs();
+  const auto& b = delta_solver.machine().costs();
+  EXPECT_EQ(a.total_work(), b.total_work());
+  EXPECT_EQ(a.total_depth(), b.total_depth());
+  ASSERT_EQ(a.step_count(), b.step_count());
+  for (std::size_t s = 0; s < a.steps().size(); ++s) {
+    EXPECT_EQ(a.steps()[s].label, b.steps()[s].label) << "step " << s;
+    EXPECT_EQ(a.steps()[s].work, b.steps()[s].work) << "step " << s;
+    EXPECT_EQ(a.steps()[s].depth, b.steps()[s].depth) << "step " << s;
+  }
+}
+
+TEST(FastPath, DeltaBufferingIsCrewConformant) {
+  // The write-log scheme defers all square/pebble writes past the
+  // barrier; the CREW checker must still see exactly one reported write
+  // per improved cell and no conflicts.
+  support::Rng rng(13);
+  const auto problem = bench::make_instance("triangulation", 21, rng);
+  SublinearOptions options;
+  options.machine.check_crew = true;
+  options.machine.backend = pram::Backend::kThreadPool;
+  SublinearSolver solver(options);
+  const auto result = solver.solve(*problem);
+  EXPECT_EQ(result.cost, dp::solve_sequential(*problem).cost);
+  ASSERT_NE(solver.machine().crew(), nullptr);
+  EXPECT_EQ(solver.machine().crew()->violation_count(), 0u)
+      << solver.machine().crew()->first_violation();
+}
+
+TEST(FastPath, WindowedPebbleMatchesReferenceEngine) {
+  // The windowed schedule disables frontier sweeps internally; the
+  // delta-buffered fast path must still match the copy-based engine.
+  support::Rng rng(55);
+  const auto problem = bench::make_instance("zigzag", 30, rng);
+  SublinearOptions base;
+  base.windowed_pebble = true;
+  base.termination = TerminationMode::kFixedBound;
+
+  SublinearOptions ref_options = base;
+  ref_options.delta_buffering = false;
+  ref_options.frontier_sweeps = false;
+  SublinearOptions fast_options = base;
+  fast_options.machine.record_costs = false;
+
+  SublinearSolver ref(ref_options);
+  SublinearSolver fast(fast_options);
+  const auto a = ref.solve(*problem);
+  const auto b = fast.solve(*problem);
+  expect_identical(a, b, "windowed");
+}
+
+TEST(FastPath, OversizedInstancesAreRejectedUpFront) {
+  // Satellite of the same PR: pair/quad packing must not silently
+  // truncate huge n. The solver rejects past the packed-coordinate cap.
+  class HugeProblem final : public dp::Problem {
+   public:
+    [[nodiscard]] std::size_t size() const override { return 70000; }
+    [[nodiscard]] Cost init(std::size_t) const override { return 0; }
+    [[nodiscard]] Cost f(std::size_t, std::size_t, std::size_t) const
+        override {
+      return 0;
+    }
+    [[nodiscard]] std::string name() const override { return "huge"; }
+  };
+  SublinearSolver solver;
+  const HugeProblem huge;
+  EXPECT_THROW(solver.prepare(huge), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace subdp::core
