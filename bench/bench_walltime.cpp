@@ -6,13 +6,18 @@
 //    backends, plus the raw pebbling game;
 //  * `--json=<path>`: a machine-readable perf-trajectory sweep. For every
 //    instance family in bench/common.hpp and a ladder of sizes it times
-//    the solver end-to-end (checks off) on the serial and thread-pool
-//    backends, for both the reference engine configuration
-//    (copy-based double buffering, full sweeps — the seed engine's hot
-//    path) and the delta-buffered / frontier-driven fast path, and
-//    records the instrumented PRAM work totals once per configuration.
-//    The output (conventionally BENCH_walltime.json) is what CI tracks
-//    across PRs.
+//    the solver end-to-end (checks off) on every available backend
+//    (serial, threads, and openmp when compiled in), for both the
+//    reference engine configuration (copy-based double buffering, full
+//    sweeps — the seed engine's hot path) and the delta-buffered /
+//    frontier-driven fast path, across both pw layouts (banded ladder to
+//    n = 256, entries-indexed dense past the old 64 cube cap). Where the
+//    reference engine runs, the sweep asserts the fast path's cost,
+//    iteration count and full w table are bit-identical before writing
+//    rows. The instrumented PRAM work ledger is recorded once per
+//    (family, n) up to n = 96 (larger counted runs would dominate the
+//    sweep; rows above carry total_work = 0). The output (conventionally
+//    BENCH_walltime.json) is what CI tracks across PRs.
 //
 // The PRAM results are about operation counts; this suite grounds the
 // simulator on actual hardware. On a machine with few cores the
@@ -25,6 +30,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -110,7 +116,7 @@ void BM_SublinearDense(benchmark::State& state) {
     benchmark::DoNotOptimize(solver.solve(problem).cost);
   }
 }
-BENCHMARK(BM_SublinearDense)->Arg(32)->Arg(48);
+BENCHMARK(BM_SublinearDense)->Arg(32)->Arg(48)->Arg(96);
 
 void BM_PebbleGame(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -130,33 +136,116 @@ BENCHMARK(BM_PebbleGame)->Arg(1 << 10)->Arg(1 << 14);
 struct SweepRow {
   std::string family;
   std::size_t n = 0;
+  std::string variant;  // "banded" | "dense"
   std::string engine;   // "reference" | "fast"
-  std::string backend;  // "serial" | "threads"
+  std::string backend;  // "serial" | "threads" | "openmp"
   double wall_ms = 0.0;
-  std::uint64_t total_work = 0;  // instrumented PRAM ops (engine-independent)
+  std::uint64_t total_work = 0;  // instrumented PRAM ops; 0 = not counted
   std::size_t iterations = 0;
   Cost cost = 0;
 };
 
-double time_solve_ms(const dp::Problem& problem, bool fast,
-                     pram::Backend backend) {
+struct TimedSolve {
+  double ms = 0.0;
+  core::SublinearResult result;
+};
+
+TimedSolve time_solve(const dp::Problem& problem, core::PwVariant variant,
+                      bool fast, pram::Backend backend) {
   core::SublinearOptions options;
+  options.variant = variant;
   options.machine.backend = backend;
   options.machine.record_costs = false;
   options.delta_buffering = fast;
   options.frontier_sweeps = fast;
   core::SublinearSolver solver(options);
-  double best_ms = 0.0;
+  TimedSolve out;
   for (int rep = 0; rep < 2; ++rep) {  // best-of-2 absorbs cold caches
     const auto t0 = std::chrono::steady_clock::now();
-    const auto result = solver.solve(problem);
+    auto result = solver.solve(problem);
     const auto t1 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(result.cost);
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
-    if (rep == 0 || ms < best_ms) best_ms = ms;
+    if (rep == 0 || ms < out.ms) out.ms = ms;
+    if (rep == 0) out.result = std::move(result);
   }
-  return best_ms;
+  return out;
+}
+
+/// One rung of a variant's size ladder. Counted (instrumented) runs and
+/// the copy-based reference engine get quadratically slower with n, so
+/// they climb only part of the way; the fast path is timed everywhere.
+struct LadderPoint {
+  std::size_t n = 0;
+  bool run_reference = false;
+  bool run_counted = false;
+};
+
+void sweep_variant(const dp::Problem& problem, const std::string& family,
+                   core::PwVariant variant, const LadderPoint& point,
+                   const std::vector<pram::Backend>& backends,
+                   std::vector<SweepRow>& rows) {
+  const std::size_t n = point.n;
+  const char* variant_name = core::to_string(variant);
+
+  std::uint64_t total_work = 0;
+  std::size_t iterations = 0;
+  if (point.run_counted) {
+    // Work totals come from one instrumented serial run; they are
+    // identical across engines and backends (the equivalence tests
+    // enforce this), so measure them once.
+    core::SublinearOptions counted;
+    counted.variant = variant;
+    counted.machine.backend = pram::Backend::kSerial;
+    counted.machine.record_costs = true;
+    core::SublinearSolver counter(counted);
+    const auto counted_result = counter.solve(problem);
+    total_work = counter.machine().costs().total_work();
+    iterations = counted_result.iterations;
+  }
+
+  // The serial fast run doubles as the row source of truth; where the
+  // reference engine runs too, the fast path must be bit-identical.
+  std::optional<core::SublinearResult> reference_serial;
+  std::optional<core::SublinearResult> fast_serial;
+  for (const bool fast : {false, true}) {
+    if (!fast && !point.run_reference) continue;
+    for (const pram::Backend backend : backends) {
+      // Above the counted sizes the reference engine is timed on the
+      // serial backend only, to keep the sweep's wall time bounded.
+      if (!fast && !point.run_counted &&
+          backend != pram::Backend::kSerial) {
+        continue;
+      }
+      TimedSolve timed = time_solve(problem, variant, fast, backend);
+      if (backend == pram::Backend::kSerial) {
+        (fast ? fast_serial : reference_serial) = timed.result;
+      }
+      SweepRow row;
+      row.family = family;
+      row.n = n;
+      row.variant = variant_name;
+      row.engine = fast ? "fast" : "reference";
+      row.backend = pram::to_string(backend);
+      row.wall_ms = timed.ms;
+      row.total_work = total_work;
+      row.iterations =
+          point.run_counted ? iterations : timed.result.iterations;
+      row.cost = timed.result.cost;
+      rows.push_back(row);
+      std::printf("%-14s n=%-4zu %-7s %-9s %-7s %10.3f ms\n",
+                  family.c_str(), n, variant_name, row.engine.c_str(),
+                  row.backend.c_str(), row.wall_ms);
+    }
+  }
+  if (reference_serial.has_value() && fast_serial.has_value()) {
+    SUBDP_REQUIRE(reference_serial->cost == fast_serial->cost &&
+                      reference_serial->iterations ==
+                          fast_serial->iterations &&
+                      reference_serial->w == fast_serial->w,
+                  "fast path diverged from the reference engine");
+  }
 }
 
 void run_json_sweep(const std::string& path) {
@@ -167,41 +256,32 @@ void run_json_sweep(const std::string& path) {
     std::fprintf(stderr, "could not open %s for writing\n", path.c_str());
     std::exit(1);
   }
-  const std::vector<std::size_t> sizes = {32, 64, 96};
+  const std::vector<LadderPoint> banded_ladder = {
+      {32, true, true},   {64, true, true},  {96, true, true},
+      {128, true, false}, {192, true, false}, {256, false, false}};
+  // Entries-indexed dense: 96 is past the old 64 cube cap.
+  const std::vector<LadderPoint> dense_ladder = {{48, true, true},
+                                                 {96, false, false}};
+  std::vector<pram::Backend> backends = {pram::Backend::kSerial,
+                                         pram::Backend::kThreadPool};
+  if (pram::openmp_available()) {
+    backends.push_back(pram::Backend::kOpenMP);
+  } else {
+    std::printf("(openmp backend not compiled in; skipping its rows)\n");
+  }
   std::vector<SweepRow> rows;
   for (const std::string& family : bench::instance_families()) {
-    for (const std::size_t n : sizes) {
-      support::Rng rng(1234 + n);
-      const auto problem = bench::make_instance(family, n, rng);
-
-      // Work totals and iteration counts come from one instrumented
-      // serial run; they are identical across engines and backends (the
-      // equivalence tests enforce this), so measure them once.
-      core::SublinearOptions counted;
-      counted.machine.backend = pram::Backend::kSerial;
-      counted.machine.record_costs = true;
-      core::SublinearSolver counter(counted);
-      const auto counted_result = counter.solve(*problem);
-      const std::uint64_t total_work = counter.machine().costs().total_work();
-
-      for (const bool fast : {false, true}) {
-        for (const pram::Backend backend :
-             {pram::Backend::kSerial, pram::Backend::kThreadPool}) {
-          SweepRow row;
-          row.family = family;
-          row.n = n;
-          row.engine = fast ? "fast" : "reference";
-          row.backend = pram::to_string(backend);
-          row.wall_ms = time_solve_ms(*problem, fast, backend);
-          row.total_work = total_work;
-          row.iterations = counted_result.iterations;
-          row.cost = counted_result.cost;
-          rows.push_back(row);
-          std::printf("%-14s n=%-4zu %-9s %-7s %10.3f ms\n", family.c_str(),
-                      n, row.engine.c_str(), row.backend.c_str(),
-                      row.wall_ms);
-        }
-      }
+    for (const LadderPoint& point : banded_ladder) {
+      support::Rng rng(1234 + point.n);
+      const auto problem = bench::make_instance(family, point.n, rng);
+      sweep_variant(*problem, family, core::PwVariant::kBanded, point,
+                    backends, rows);
+    }
+    for (const LadderPoint& point : dense_ladder) {
+      support::Rng rng(1234 + point.n);
+      const auto problem = bench::make_instance(family, point.n, rng);
+      sweep_variant(*problem, family, core::PwVariant::kDense, point,
+                    backends, rows);
     }
   }
 
@@ -210,13 +290,13 @@ void run_json_sweep(const std::string& path) {
     const SweepRow& row = rows[r];
     std::fprintf(
         out,
-        "    {\"family\": \"%s\", \"n\": %zu, \"engine\": \"%s\", "
-        "\"backend\": \"%s\", \"wall_ms\": %.4f, \"total_work\": %llu, "
-        "\"iterations\": %zu, \"cost\": %lld}%s\n",
-        row.family.c_str(), row.n, row.engine.c_str(), row.backend.c_str(),
-        row.wall_ms, static_cast<unsigned long long>(row.total_work),
-        row.iterations, static_cast<long long>(row.cost),
-        r + 1 < rows.size() ? "," : "");
+        "    {\"family\": \"%s\", \"n\": %zu, \"variant\": \"%s\", "
+        "\"engine\": \"%s\", \"backend\": \"%s\", \"wall_ms\": %.4f, "
+        "\"total_work\": %llu, \"iterations\": %zu, \"cost\": %lld}%s\n",
+        row.family.c_str(), row.n, row.variant.c_str(), row.engine.c_str(),
+        row.backend.c_str(), row.wall_ms,
+        static_cast<unsigned long long>(row.total_work), row.iterations,
+        static_cast<long long>(row.cost), r + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

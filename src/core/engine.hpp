@@ -50,8 +50,12 @@
 ///  * a-activate re-evaluates only the sites reading a `w(i,j)` the last
 ///    pebble moved (falling back to the full sweep when that frontier is
 ///    dense);
-///  * a-square (HLV mode) skips quadruples none of whose operand roots'
-///    `pw` entries moved since the previous square scanned them;
+///  * a-square (HLV mode) runs *root-major*: the entry list is walked as
+///    contiguous per-root blocks, a 2-D containment count over the moved
+///    roots answers "did any pw entry inside `(i,j)` move?" in O(1) and
+///    skips the whole block when not, and surviving quads test their HLV
+///    windows against per-endpoint prefix sums — O(1) per quad instead of
+///    the O(B) per-quad root walk this replaces;
 ///  * a-pebble skips pairs with no root `pw` movement since their last
 ///    rescan and no moved `w` among their gaps.
 /// Monotonicity of both tables makes every skipped site provably a no-op
@@ -60,6 +64,21 @@
 /// sweeps — the equivalence tests verify this per iteration. Checked /
 /// instrumented runs always use full sweeps, keeping the cost ledger
 /// unchanged.
+///
+/// Storage policy and the in-band read path
+/// ----------------------------------------
+/// `Table` must model `core::PwStoragePolicy` (pw_layout.hpp): the kernels
+/// below are instantiated once per layout with that layout's addressing
+/// inlined, not dispatched per call. On the fast path the HLV square scan
+/// (`square_scan_fast`) exploits a structural fact: every candidate
+/// operand of an in-band target is itself in band (first operands share
+/// the target's root with strictly smaller slack; second operands `(r,q,
+/// p,q)` / `(p,s,p,q)` have slack `p-r` / `s-q <= B` by the window
+/// bounds), except the single identity operand `pw(i,j,i,j)`, whose
+/// candidate equals the target's old value and is skipped as a provable
+/// no-op. So the inner loops read through the layout's incremental window
+/// cursors and unchecked `in_band_slot` instead of the general `get`,
+/// eliminating the identity / slack / child-gap branches per read.
 
 #include <algorithm>
 #include <atomic>
@@ -70,6 +89,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/pw_layout.hpp"
 #include "core/quad.hpp"
 #include "core/solver_types.hpp"
 #include "dp/problem.hpp"
@@ -107,6 +127,9 @@ struct Pair {
 
 template <class Table>
 class Engine final : public IEngine {
+  static_assert(PwStoragePolicy<Table>,
+                "Engine requires a pw storage policy (see pw_layout.hpp)");
+
  public:
   Engine(const dp::Problem& problem, const SublinearOptions& options,
          std::size_t band, pram::Machine& machine)
@@ -137,6 +160,24 @@ class Engine final : public IEngine {
       }
       pw_log_.resize(quads.size());
       w_log_.resize(pairs_.size());
+      // Per-root runs of the entry list (both layouts emit the quads of a
+      // root contiguously) — the unit of the root-major square sweep.
+      for (std::size_t idx = 0; idx < quads.size(); ++idx) {
+        const Quad& t = quads[idx];
+        if (root_blocks_.empty() ||
+            pairs_[root_blocks_.back().pair].i != t.i ||
+            pairs_[root_blocks_.back().pair].j != t.j) {
+          if (!root_blocks_.empty()) {
+            root_blocks_.back().end = static_cast<std::uint32_t>(idx);
+          }
+          root_blocks_.push_back(
+              RootBlock{static_cast<std::uint32_t>(idx), 0,
+                        static_cast<std::uint32_t>(pair_index(t.i, t.j))});
+        }
+      }
+      if (!root_blocks_.empty()) {
+        root_blocks_.back().end = static_cast<std::uint32_t>(quads.size());
+      }
     }
 
     frontier_enabled_ = delta_ && options_.frontier_sweeps &&
@@ -149,6 +190,10 @@ class Engine final : public IEngine {
       const std::size_t grid = (n_ + 1) * (n_ + 1);
       w_moved_.assign(grid, 0);
       contained_.assign(grid, 0);
+      root_mark_grid_.assign(grid, 0);
+      root_contained_.assign(grid, 0);
+      mark_left_pre_.assign(grid, 0);
+      mark_right_pre_.assign(grid, 0);
       // The initial frontier: every base entry w(i, i+1) was just set.
       frontier_.reserve(n_);
       for (std::size_t i = 0; i < n_; ++i) {
@@ -208,6 +253,14 @@ class Engine final : public IEngine {
   struct Delta {
     std::uint32_t index = 0;
     Cost value = 0;
+  };
+
+  /// One root's contiguous run `[begin, end)` of the square-entry list,
+  /// plus the root's index into `pairs_` (root-major sweep unit).
+  struct RootBlock {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::uint32_t pair = 0;
   };
 
   /// The HLV square window of quad `t`: admissible intermediates
@@ -346,6 +399,46 @@ class Engine final : public IEngine {
     return best;
   }
 
+  /// Fast-path HLV candidate scan: same candidate set, arithmetic and
+  /// min-fold as `square_scan`, but every operand is read through the
+  /// layout's incremental window cursors and unchecked `in_band_slot`
+  /// instead of the general `get` (see the file comment for why all
+  /// operands are provably in band). The lone identity operand — `r == i`
+  /// with `q == j`, or `s == j` with `p == i` — pairs `pw(i,j,i,j) = 0`
+  /// with the target's own old value and can never improve it, so it is
+  /// skipped rather than branch-tested on every read.
+  Cost square_scan_fast(const Quad& t, Cost old_value) const {
+    const std::size_t i = t.i, j = t.j, p = t.p, q = t.q;
+    Cost best = old_value;
+    const HlvWindow win = hlv_window(t);
+    const Cost* raw = pw_.raw_cells();
+    std::size_t r = win.r_lo;
+    if (r == i && q == j) ++r;  // identity operand: provable no-op
+    if (r < p) {
+      PwWindowCursor cur = pw_.r_window_cursor(i, j, r, q);
+      for (; r < p; ++r) {
+        const Cost a = cur.value();
+        cur.advance();
+        if (!is_finite(a)) continue;
+        const Cost b = raw[pw_.in_band_slot(r, q, p, q)];
+        best = sat_min(best, sat_add(a, b));
+      }
+    }
+    std::size_t s_hi = win.s_hi;
+    if (p == i && s_hi == j) --s_hi;  // identity operand: provable no-op
+    if (q < s_hi) {
+      PwWindowCursor cur = pw_.s_window_cursor(i, j, p, q + 1);
+      for (std::size_t s = q + 1; s <= s_hi; ++s) {
+        const Cost a = cur.value();
+        cur.advance();
+        if (!is_finite(a)) continue;
+        const Cost b = raw[pw_.in_band_slot(p, s, p, q)];
+        best = sat_min(best, sat_add(a, b));
+      }
+    }
+    return best;
+  }
+
   /// a-pebble gap scan for one pair; returns the best pebbled cost
   /// (callers write only if it beats `old_value`).
   template <bool Instr>
@@ -372,43 +465,100 @@ class Engine final : public IEngine {
     pw_root_moved_[pair_idx].store(1, std::memory_order_relaxed);
   }
 
-  /// True iff any operand root of quad `t` (its own root, or a
-  /// second-level root `(r,q)` / `(p,s)` in the HLV window) had a `pw`
-  /// entry move since the previous a-square scanned `t`. When false, every
-  /// candidate of `t` is unchanged and already min-applied, so the scan
-  /// can be skipped without affecting results or change counts.
-  [[nodiscard]] bool square_operands_moved(const Quad& t) const {
-    const std::size_t i = t.i, j = t.j, p = t.p, q = t.q;
-    const auto moved = [&](std::size_t a, std::size_t b) {
-      return pw_root_moved_[pair_index(a, b)].load(
-                 std::memory_order_relaxed) != 0;
-    };
-    if (moved(i, j)) return true;
-    const HlvWindow win = hlv_window(t);
-    for (std::size_t r = win.r_lo; r < p; ++r) {
-      if (moved(r, q)) return true;
+  /// 2-D containment counts over interval marks: `out(i,j)` = #marked
+  /// `(a,b)` with `i <= a < b <= j` (inclusion-exclusion DP; shared by the
+  /// pebble's moved-w test and the square's root-block test).
+  void accumulate_containment(const std::vector<std::uint8_t>& marks,
+                              std::vector<std::uint32_t>& out) const {
+    const std::size_t stride = n_ + 1;
+    for (std::size_t i = n_ + 1; i-- > 0;) {
+      for (std::size_t j = 0; j <= n_; ++j) {
+        std::uint32_t v = marks[i * stride + j];
+        if (i < n_) v += out[(i + 1) * stride + j];
+        if (j > 0) v += out[i * stride + (j - 1)];
+        if (i < n_ && j > 0) v -= out[(i + 1) * stride + (j - 1)];
+        out[i * stride + j] = v;
+      }
     }
-    for (std::size_t s = q + 1; s <= win.s_hi; ++s) {
-      if (moved(p, s)) return true;
-    }
-    return false;
   }
 
   /// Builds the 2-D containment counts of the last pebble's moved
   /// `w` entries: `contained_(i,j)` = #moved `(p,q)` with `i<=p<q<=j`.
   void build_contained_counts() {
-    const std::size_t stride = n_ + 1;
     std::fill(w_moved_.begin(), w_moved_.end(), std::uint8_t{0});
-    for (const Pair e : frontier_) w_moved_[e.i * stride + e.j] = 1;
-    for (std::size_t i = n_ + 1; i-- > 0;) {
-      for (std::size_t j = 0; j <= n_; ++j) {
-        std::uint32_t v = w_moved_[i * stride + j];
-        if (i < n_) v += contained_[(i + 1) * stride + j];
-        if (j > 0) v += contained_[i * stride + (j - 1)];
-        if (i < n_ && j > 0) v -= contained_[(i + 1) * stride + (j - 1)];
-        contained_[i * stride + j] = v;
+    for (const Pair e : frontier_) w_moved_[e.i * (n_ + 1) + e.j] = 1;
+    accumulate_containment(w_moved_, contained_);
+  }
+
+  /// Snapshots `pw_root_moved_` into grid form for the root-major square
+  /// sweep: containment counts (`root_contained_`, the whole-block skip
+  /// test) and per-endpoint prefix sums (`mark_left_pre_(q,r)` = #moved
+  /// roots `(a,q)` with `a <= r`; `mark_right_pre_(p,s)` = #moved roots
+  /// `(p,b)` with `b <= s`) for the O(1) per-quad window tests.
+  void build_square_prefixes() {
+    const std::size_t stride = n_ + 1;
+    std::fill(root_mark_grid_.begin(), root_mark_grid_.end(),
+              std::uint8_t{0});
+    for (std::size_t k = 0; k < pairs_.size(); ++k) {
+      if (pw_root_moved_[k].load(std::memory_order_relaxed) != 0) {
+        const Pair pr = pairs_[k];
+        root_mark_grid_[pr.i * stride + pr.j] = 1;
       }
     }
+    accumulate_containment(root_mark_grid_, root_contained_);
+    for (std::size_t q = 0; q <= n_; ++q) {
+      std::uint32_t run = 0;
+      for (std::size_t r = 0; r <= n_; ++r) {
+        run += root_mark_grid_[r * stride + q];
+        mark_left_pre_[q * stride + r] = run;
+      }
+    }
+    for (std::size_t p = 0; p <= n_; ++p) {
+      std::uint32_t run = 0;
+      for (std::size_t s = 0; s <= n_; ++s) {
+        run += root_mark_grid_[p * stride + s];
+        mark_right_pre_[p * stride + s] = run;
+      }
+    }
+  }
+
+  /// Hoisted root-block test: true iff any moved root lies inside `(i,j)`
+  /// — a superset of every operand root of every quad of the block, so a
+  /// false answer proves the whole block clean.
+  [[nodiscard]] bool root_block_moved(const Pair root) const {
+    return root_contained_[root.i * (n_ + 1) + root.j] != 0;
+  }
+
+  /// O(1) window test replacing the O(B) per-quad root walk: true iff a
+  /// second-operand root `(r,q)` with `r` in `[r_lo, p)` or `(p,s)` with
+  /// `s` in `(q, s_hi]` moved — exactly the set the scan would read. The
+  /// quad's own root is tested separately (hoisted per block).
+  [[nodiscard]] bool square_window_moved(const Quad& t) const {
+    const std::size_t stride = n_ + 1;
+    const std::size_t p = t.p, q = t.q;
+    const HlvWindow win = hlv_window(t);
+    if (win.r_lo < p) {
+      const std::uint32_t hi = mark_left_pre_[q * stride + (p - 1)];
+      const std::uint32_t lo =
+          win.r_lo == 0 ? 0 : mark_left_pre_[q * stride + (win.r_lo - 1)];
+      if (hi != lo) return true;
+    }
+    if (win.s_hi > q) {
+      if (mark_right_pre_[p * stride + win.s_hi] !=
+          mark_right_pre_[p * stride + q]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Index of the first root block whose entry range contains `entry_idx`
+  /// (the blocks partition the entry list in order).
+  [[nodiscard]] std::size_t block_at(std::size_t entry_idx) const {
+    const auto it = std::upper_bound(
+        root_blocks_.begin(), root_blocks_.end(), entry_idx,
+        [](std::size_t v, const RootBlock& blk) { return v < blk.end; });
+    return static_cast<std::size_t>(it - root_blocks_.begin());
   }
 
   /// True iff some moved `w(p,q)` is a proper sub-interval of `(i,j)` —
@@ -553,23 +703,51 @@ class Engine final : public IEngine {
             return ops;
           });
     } else {
-      // HLV-mode quads can consult the operand-movement marks; the first
-      // square has no marks yet and scans everything.
-      const bool skip_clean = frontier_enabled_ && square_frontier_ready_ &&
-                              options_.square_mode == SquareMode::kHlvOneLevel;
+      // Fast path: HLV scans run the unchecked in-band kernel, and — once
+      // operand-movement marks exist (every square after the first) — the
+      // sweep is root-major: whole root blocks are skipped via the
+      // containment test, surviving quads via the O(1) window test.
+      const bool hlv = options_.square_mode == SquareMode::kHlvOneLevel;
+      const bool skip_clean =
+          frontier_enabled_ && square_frontier_ready_ && hlv;
+      if (skip_clean) build_square_prefixes();
+      const Cost* raw_read = pw_.raw_cells();
       machine_.run_blocks(
           static_cast<std::int64_t>(quads.size()),
-          [&](std::int64_t lo, std::int64_t hi) {
+          [&](std::int64_t lo64, std::int64_t hi64) {
+            const std::size_t lo = static_cast<std::size_t>(lo64);
+            const std::size_t hi = static_cast<std::size_t>(hi64);
             std::uint64_t ops = 0;
-            for (std::int64_t idx = lo; idx < hi; ++idx) {
-              const Quad t = quads[static_cast<std::size_t>(idx)];
-              if (skip_clean && !square_operands_moved(t)) continue;
-              const Cost old_value = pw_.get(t.i, t.j, t.p, t.q);
-              const Cost best = square_scan<false>(t, old_value, ops);
+            const auto scan_one = [&](const Quad& t, std::size_t idx) {
+              const Cost old_value = raw_read[entry_slots_[idx]];
+              const Cost best = hlv ? square_scan_fast(t, old_value)
+                                    : square_scan<false>(t, old_value, ops);
               if (best < old_value) {
                 pw_log_[pw_log_count_.fetch_add(
                     1, std::memory_order_relaxed)] =
                     Delta{static_cast<std::uint32_t>(idx), best};
+              }
+            };
+            if (!skip_clean) {
+              for (std::size_t idx = lo; idx < hi; ++idx) {
+                scan_one(quads[idx], idx);
+              }
+              return;
+            }
+            for (std::size_t bi = block_at(lo); bi < root_blocks_.size();
+                 ++bi) {
+              const RootBlock& rb = root_blocks_[bi];
+              if (rb.begin >= hi) break;
+              if (!root_block_moved(pairs_[rb.pair])) continue;
+              const bool root_moved =
+                  pw_root_moved_[rb.pair].load(std::memory_order_relaxed) !=
+                  0;
+              const std::size_t b = rb.begin < lo ? lo : rb.begin;
+              const std::size_t e = rb.end < hi ? rb.end : hi;
+              for (std::size_t idx = b; idx < e; ++idx) {
+                const Quad t = quads[idx];
+                if (!root_moved && !square_window_moved(t)) continue;
+                scan_one(t, idx);
               }
             }
           });
@@ -703,6 +881,7 @@ class Engine final : public IEngine {
 
   // Delta-buffered stepping state (delta_ == true).
   std::vector<std::uint32_t> entry_slots_;  ///< Storage slot per square entry.
+  std::vector<RootBlock> root_blocks_;      ///< Per-root entry runs.
   std::vector<Delta> pw_log_;
   std::vector<Delta> w_log_;
   std::atomic<std::size_t> pw_log_count_{0};
@@ -716,6 +895,11 @@ class Engine final : public IEngine {
   std::vector<Pair> frontier_;  ///< w entries moved by the last pebble.
   std::vector<std::uint8_t> w_moved_;
   std::vector<std::uint32_t> contained_;
+  // Root-major square sweep snapshots (rebuilt per square step).
+  std::vector<std::uint8_t> root_mark_grid_;
+  std::vector<std::uint32_t> root_contained_;
+  std::vector<std::uint32_t> mark_left_pre_;
+  std::vector<std::uint32_t> mark_right_pre_;
   std::uint64_t total_split_sites_ = 0;
 
   std::size_t iteration_ = 0;

@@ -13,7 +13,8 @@ BandedPwTable::BandedPwTable(std::size_t n, std::size_t band)
   std::size_t total = 0;
   for (std::size_t len = 2; len <= n; ++len) {
     length_base_[len] = total;
-    total += (n - len + 1) * block_size(len);
+    total = checked_size_add(total,
+                             checked_size_mul(n - len + 1, block_size(len)));
   }
   length_base_[n + 1] = total;
   cells_.assign(total, kInfinity);

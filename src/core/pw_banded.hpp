@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/pw_layout.hpp"
 #include "core/quad.hpp"
 #include "support/cost.hpp"
 
@@ -46,6 +47,9 @@ namespace subdp::core {
 /// slack. Reads of anything else yield `kInfinity`.
 class BandedPwTable {
  public:
+  /// Storage-policy identifier (diagnostics, bench labels).
+  static constexpr const char* kLayoutName = "banded";
+
   /// `band` = maximal stored slack `B >= 1` for general gaps.
   BandedPwTable(std::size_t n, std::size_t band);
 
@@ -113,8 +117,41 @@ class BandedPwTable {
     return flat(i, j, p, s);
   }
 
-  /// Direct in-band cell storage (write-log apply path).
+  /// Unchecked slot of an entry known to be stored *in band* (slack in
+  /// `[1, B]`, non-identity). Skips the identity / child-gap fallbacks of
+  /// `get`; the square kernel's operands are provably in this regime.
+  [[nodiscard]] std::size_t in_band_slot(std::size_t i, std::size_t j,
+                                         std::size_t p, std::size_t q) const {
+    return flat(i, j, p, (j - i) - (q - p));
+  }
+
+  /// Incremental reader over `pw'(i,j,r,q)` for ascending `r` starting at
+  /// `r0` (the HLV r-window's first operand): the slack grows by one per
+  /// step, so the slot advances by `s+2, s+3, ...`.
+  [[nodiscard]] PwWindowCursor r_window_cursor(std::size_t i, std::size_t j,
+                                               std::size_t r0,
+                                               std::size_t q) const {
+    const std::size_t s = (r0 - i) + (j - q);
+    return {cells_.data() + flat(i, j, r0, s),
+            static_cast<std::ptrdiff_t>(s + 2), 1};
+  }
+
+  /// Incremental reader over `pw'(i,j,p,s)` for ascending `s` starting at
+  /// `s0` (the HLV s-window's first operand): the slack shrinks by one per
+  /// step, so the slot retreats by `s, s-1, ...`.
+  [[nodiscard]] PwWindowCursor s_window_cursor(std::size_t i, std::size_t j,
+                                               std::size_t p,
+                                               std::size_t s0) const {
+    const std::size_t s = (j - i) - (s0 - p);
+    return {cells_.data() + flat(i, j, p, s),
+            -static_cast<std::ptrdiff_t>(s), 1};
+  }
+
+  /// Direct in-band cell storage (write-log apply path, cursor reads).
   [[nodiscard]] Cost* raw_cells() noexcept { return cells_.data(); }
+  [[nodiscard]] const Cost* raw_cells() const noexcept {
+    return cells_.data();
+  }
 
   /// Allocated cells across all stores (E7 memory metric).
   [[nodiscard]] std::size_t cell_count() const noexcept {
@@ -205,5 +242,7 @@ class BandedPwTable {
   std::vector<Cost> right_child_cells_;
   std::vector<Quad> entries_;
 };
+
+static_assert(PwStoragePolicy<BandedPwTable>);
 
 }  // namespace subdp::core

@@ -9,10 +9,24 @@ DensePwTable::DensePwTable(std::size_t n, std::size_t /*band*/) : n_(n) {
   SUBDP_REQUIRE(n <= kMaxDenseN,
                 "dense pw table would exceed the memory envelope; "
                 "use the banded variant");
-  cells_.assign((n + 1) * (n + 1) * (n + 1) * (n + 1), kInfinity);
+
+  length_base_.assign(n + 2, 0);
+  std::size_t total = 0;
+  std::size_t roots = 0;
+  for (std::size_t len = 2; len <= n; ++len) {
+    length_base_[len] = total;
+    total = checked_size_add(
+        total, checked_size_mul(n - len + 1, cells_per_root(len)));
+    roots += n - len + 1;
+  }
+  length_base_[n + 1] = total;
+  cells_.assign(total, kInfinity);
 
   // Group by root length ascending so windowed sweeps see short roots
-  // first; within a root, gaps in (p,q) lexicographic order.
+  // first; within a root, gaps in (p,q) lexicographic order (which is also
+  // ascending slot order). Every cell except one identity slot per root
+  // backs a meaningful entry.
+  entries_.reserve(total - roots);
   for (std::size_t len = 2; len <= n; ++len) {
     for (std::size_t i = 0; i + len <= n; ++i) {
       const std::size_t j = i + len;
@@ -27,7 +41,7 @@ DensePwTable::DensePwTable(std::size_t n, std::size_t /*band*/) : n_(n) {
       }
     }
   }
-  entry_count_ = entries_.size();
+  SUBDP_ASSERT(entries_.size() + roots == cells_.size());
 }
 
 void DensePwTable::reset() {

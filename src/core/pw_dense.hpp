@@ -1,18 +1,39 @@
 #pragma once
 
 /// \file pw_dense.hpp
-/// Dense O(n^4) partial-weight table (the Sec. 2 algorithm's `pw'`).
+/// Entries-indexed dense partial-weight table (the Sec. 2 algorithm's
+/// `pw'`, every slack stored).
 ///
-/// Stores every structural quadruple `(i,j,p,q)` with `i <= p < q <= j`
-/// and `(p,q) != (i,j)` in a flat `(n+1)^4` cube (simple O(1) addressing
-/// at the cost of unused cells). The identity entries `pw(i,j,i,j) = 0`
-/// are definitional and answered without storage; structurally invalid or
-/// unstored reads return `kInfinity`, matching the algorithm's
-/// initialisation.
+/// The seed stored the table as a flat `(n+1)^4` cube — O(1) addressing
+/// bought with ~24x unused cells, which capped dense instances at n = 64.
+/// This layout allocates only the *valid* index space: roots `(i,j)` with
+/// `j - i >= 2` grouped by length ascending, and within each root the
+/// triangular family of gaps `(p,q)` with `i <= p < q <= j` — `L(L+1)/2`
+/// cells for a root of length `L` (one of them the definitional identity
+/// gap, kept as a never-touched slot so gap addressing stays branch-free).
+/// Total: `sum_L (n-L+1) * L(L+1)/2 ~ n^4/24` cells instead of `(n+1)^4`,
+/// which lifts the supported size to `kMaxDenseN` = 192 in the same memory
+/// envelope (~0.45 GB per table at the cap).
+///
+/// Addressing is still O(1): a per-length cumulative base, `i` times the
+/// per-root block size, plus the closed-form triangle offset
+/// `a(2L-a+1)/2 + (b-a-1)` for `a = p-i`, `b = q-i`. Along the engine's
+/// HLV windows the offset advances by an arithmetic progression, which is
+/// what the `PwStoragePolicy` window cursors expose.
+///
+/// The identity entries `pw(i,j,i,j) = 0` are definitional and answered
+/// without a read; every other stored entry starts at `kInfinity`,
+/// matching the algorithm's initialisation. Unlike the old cube (where
+/// any coordinate quadruple landed on some allocated cell), `get`/`set`
+/// now require a structurally valid quadruple `i <= p < q <= j <= n` —
+/// asserted in debug builds, undefined in release. Sizing arithmetic is
+/// overflow-checked (`checked_size_mul`/`checked_size_add`) rather than
+/// trusting the cap to keep products representable.
 
 #include <cstdint>
 #include <vector>
 
+#include "core/pw_layout.hpp"
 #include "core/quad.hpp"
 #include "support/cost.hpp"
 
@@ -21,8 +42,15 @@ namespace subdp::core {
 /// Dense `pw'` storage for instances of up to `kMaxDenseN` objects.
 class DensePwTable {
  public:
-  /// Largest supported n: 2 buffers x (n+1)^4 x 8 bytes must stay modest.
-  static constexpr std::size_t kMaxDenseN = 64;
+  /// Storage-policy identifier (diagnostics, bench labels).
+  static constexpr const char* kLayoutName = "dense-entries";
+
+  /// Largest supported n. The entries-indexed layout needs ~n^4/24 cells,
+  /// so 192 keeps 2 buffers x 8 bytes within ~1 GB (the seed's cube hit
+  /// that wall at 64); the constructor additionally overflow-checks the
+  /// cell arithmetic so the cap is a memory policy, not a correctness
+  /// guard.
+  static constexpr std::size_t kMaxDenseN = 192;
 
   /// `band` is accepted for interface parity with `BandedPwTable` and
   /// ignored (a dense table stores every slack).
@@ -33,8 +61,8 @@ class DensePwTable {
   /// Effective slack bound: dense tables store all slacks up to n.
   [[nodiscard]] std::size_t max_slack() const noexcept { return n_; }
 
-  /// Reads `pw'(i,j,p,q)`; identity gaps yield 0, anything unstored
-  /// (never written) yields `kInfinity`.
+  /// Reads `pw'(i,j,p,q)` (requires `i <= p < q <= j <= n`); identity
+  /// gaps yield 0, anything unwritten yields `kInfinity`.
   [[nodiscard]] Cost get(std::size_t i, std::size_t j, std::size_t p,
                          std::size_t q) const {
     SUBDP_ASSERT(i <= p && p < q && q <= j && j <= n_);
@@ -70,21 +98,54 @@ class DensePwTable {
     return flat(i, j, p, q);
   }
 
-  /// Direct cell storage (write-log apply path).
-  [[nodiscard]] Cost* raw_cells() noexcept { return cells_.data(); }
+  /// Unchecked slot of a stored entry (dense stores everything, so every
+  /// non-identity quadruple is "in band"). No branches.
+  [[nodiscard]] std::size_t in_band_slot(std::size_t i, std::size_t j,
+                                         std::size_t p, std::size_t q) const {
+    SUBDP_ASSERT(stores(i, j, p, q));
+    return flat(i, j, p, q);
+  }
 
-  /// Number of allocated cells (the memory-footprint metric for E7).
+  /// Incremental reader over `pw'(i,j,r,q)` for ascending `r` starting at
+  /// `r0` (the HLV r-window's first operand): the triangle offset grows by
+  /// `len - a - 1` per step, shrinking by one each time.
+  [[nodiscard]] PwWindowCursor r_window_cursor(std::size_t i, std::size_t j,
+                                               std::size_t r0,
+                                               std::size_t q) const {
+    const std::size_t len = j - i;
+    const std::size_t a = r0 - i;
+    return {cells_.data() + flat(i, j, r0, q),
+            static_cast<std::ptrdiff_t>(len - a - 1), -1};
+  }
+
+  /// Incremental reader over `pw'(i,j,p,s)` for ascending `s` starting at
+  /// `s0` (the HLV s-window's first operand): contiguous cells.
+  [[nodiscard]] PwWindowCursor s_window_cursor(std::size_t i, std::size_t j,
+                                               std::size_t p,
+                                               std::size_t s0) const {
+    return {cells_.data() + flat(i, j, p, s0), 1, 0};
+  }
+
+  /// Direct cell storage (write-log apply path, cursor reads).
+  [[nodiscard]] Cost* raw_cells() noexcept { return cells_.data(); }
+  [[nodiscard]] const Cost* raw_cells() const noexcept {
+    return cells_.data();
+  }
+
+  /// Number of allocated cells (the memory-footprint metric for E7);
+  /// exceeds `entry_count()` only by the one identity slot per root.
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return cells_.size();
   }
 
   /// Number of *meaningful* (structurally valid, stored) entries.
   [[nodiscard]] std::size_t entry_count() const noexcept {
-    return entry_count_;
+    return entries_.size();
   }
 
-  /// All stored quadruples, grouped by root-interval length ascending
-  /// (the order the square step iterates in).
+  /// All stored quadruples, grouped by root-interval length ascending and
+  /// contiguous per root (the order the square step iterates in; the
+  /// engine's root-major sweep keys its block table off this grouping).
   [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
     return entries_;
   }
@@ -107,15 +168,28 @@ class DensePwTable {
   void copy_from(const DensePwTable& other);
 
  private:
+  /// Cells of one root of length `len`: the gap triangle `0 <= a < b <=
+  /// len`, identity slot included.
+  [[nodiscard]] static constexpr std::size_t cells_per_root(
+      std::size_t len) noexcept {
+    return len * (len + 1) / 2;
+  }
+
   [[nodiscard]] std::size_t flat(std::size_t i, std::size_t j, std::size_t p,
                                  std::size_t q) const {
-    return ((i * (n_ + 1) + j) * (n_ + 1) + p) * (n_ + 1) + q;
+    const std::size_t len = j - i;
+    const std::size_t a = p - i;
+    const std::size_t b = q - i;
+    return length_base_[len] + i * cells_per_root(len) +
+           a * (2 * len - a + 1) / 2 + (b - a - 1);
   }
 
   std::size_t n_;
-  std::size_t entry_count_ = 0;
+  std::vector<std::size_t> length_base_;  ///< Cumulative block offsets.
   std::vector<Cost> cells_;
   std::vector<Quad> entries_;
 };
+
+static_assert(PwStoragePolicy<DensePwTable>);
 
 }  // namespace subdp::core

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file pw_layout.hpp
+/// The compile-time storage-policy concept behind the `pw'` tables.
+///
+/// `engine.hpp` is templated on its partial-weight table; this header pins
+/// down the contract that template assumes, so a layout is checked against
+/// the full interface at instantiation time instead of failing two template
+/// layers deep (or, worse, silently compiling a per-call branch). Both
+/// shipped layouts — `DensePwTable` (entries-indexed, every slack) and
+/// `BandedPwTable` (slack-banded plus child-gap side stores) — model
+/// `PwStoragePolicy`, and the engine's kernels are instantiated once per
+/// layout with the layout's own addressing inlined.
+///
+/// Beyond the classic get/set/stores surface, a policy must expose the
+/// *unchecked in-band read machinery* the fast-path square kernel is built
+/// on:
+///
+///  * `in_band_slot(i,j,p,q)` — the raw cell index of an entry known to be
+///    stored in band, computed branch-free (no identity test, no slack
+///    test, no child-gap fallback);
+///  * `r_window_cursor` / `s_window_cursor` — incremental readers along
+///    the HLV windows. In every layout the slot of `pw'(i,j,r,q)` for
+///    ascending `r` (and of `pw'(i,j,p,s)` for ascending `s`) advances by
+///    an *arithmetic progression* — dense rows stride `len-a-1, len-a-2,
+///    ...`, banded slack blocks stride `s+2, s+3, ...` — so one
+///    `PwWindowCursor{cell, step, dstep}` covers all four cases with two
+///    adds per element and no address re-derivation.
+///
+/// `entries()` must enumerate the square-step targets grouped by root
+/// length ascending with the quads of one root `(i,j)` contiguous; the
+/// engine's root-major frontier sweep builds its block table from exactly
+/// that grouping (a layout that interleaved roots would still be correct,
+/// just unskippable).
+///
+/// The header also provides the overflow-checked size arithmetic the
+/// layout constructors use: table shapes are products of four instance
+/// dimensions, and a silent `std::size_t` wrap would turn "too big" into a
+/// small, wrong allocation.
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/quad.hpp"
+#include "support/assert.hpp"
+#include "support/cost.hpp"
+
+namespace subdp::core {
+
+/// Overflow-checked multiply for table sizing; throws std::invalid_argument
+/// instead of wrapping.
+[[nodiscard]] constexpr std::size_t checked_size_mul(std::size_t a,
+                                                     std::size_t b) {
+  SUBDP_REQUIRE(b == 0 || a <= std::numeric_limits<std::size_t>::max() / b,
+                "pw table size arithmetic overflows std::size_t");
+  return a * b;
+}
+
+/// Overflow-checked add for table sizing; throws std::invalid_argument
+/// instead of wrapping.
+[[nodiscard]] constexpr std::size_t checked_size_add(std::size_t a,
+                                                     std::size_t b) {
+  SUBDP_REQUIRE(a <= std::numeric_limits<std::size_t>::max() - b,
+                "pw table size arithmetic overflows std::size_t");
+  return a + b;
+}
+
+/// Incremental in-band reader along one HLV window. The slot sequence is an
+/// arithmetic progression (see the file comment), so advancing is two adds:
+/// `cell += step; step += dstep`.
+struct PwWindowCursor {
+  const Cost* cell = nullptr;
+  std::ptrdiff_t step = 0;
+  std::ptrdiff_t dstep = 0;
+
+  [[nodiscard]] Cost value() const noexcept { return *cell; }
+  void advance() noexcept {
+    cell += step;
+    step += dstep;
+  }
+};
+
+namespace layout_detail {
+/// Stand-in callable for concept-checking `for_each_gap` (lambdas cannot
+/// appear in a requires-expression portably).
+struct GapSink {
+  void operator()(std::size_t, std::size_t) const noexcept {}
+};
+}  // namespace layout_detail
+
+/// The storage interface `detail::Engine` instantiates its kernels against.
+template <class T>
+concept PwStoragePolicy =
+    std::constructible_from<T, std::size_t, std::size_t> &&
+    requires(T t, const T c, std::size_t z, Cost v) {
+      { T::kLayoutName } -> std::convertible_to<const char*>;
+      { c.n() } noexcept -> std::same_as<std::size_t>;
+      { c.max_slack() } noexcept -> std::same_as<std::size_t>;
+      { c.get(z, z, z, z) } -> std::same_as<Cost>;
+      { t.set(z, z, z, z, v) } -> std::same_as<void>;
+      { c.stores(z, z, z, z) } -> std::same_as<bool>;
+      { c.address(z, z, z, z) } -> std::same_as<std::uint64_t>;
+      { c.entry_slot(z, z, z, z) } -> std::same_as<std::size_t>;
+      { c.in_band_slot(z, z, z, z) } -> std::same_as<std::size_t>;
+      { c.r_window_cursor(z, z, z, z) } -> std::same_as<PwWindowCursor>;
+      { c.s_window_cursor(z, z, z, z) } -> std::same_as<PwWindowCursor>;
+      { t.raw_cells() } noexcept -> std::same_as<Cost*>;
+      { c.raw_cells() } noexcept -> std::same_as<const Cost*>;
+      { c.cell_count() } noexcept -> std::same_as<std::size_t>;
+      { c.entry_count() } noexcept -> std::same_as<std::size_t>;
+      { c.entries() } noexcept -> std::same_as<const std::vector<Quad>&>;
+      { c.for_each_gap(z, z, layout_detail::GapSink{}) } ->
+          std::same_as<void>;
+      { t.reset() } -> std::same_as<void>;
+      { t.copy_from(c) } -> std::same_as<void>;
+    };
+
+}  // namespace subdp::core

@@ -20,6 +20,10 @@ void SublinearSolver::prepare(const dp::Problem& problem) {
   SUBDP_REQUIRE(n_ <= kMaxPackedN,
                 "instance too large: the packed pw-table coordinates "
                 "(core::Quad) support n <= 65535");
+  SUBDP_REQUIRE(options_.variant != PwVariant::kDense ||
+                    n_ <= DensePwTable::kMaxDenseN,
+                "instance too large for the dense (every-slack) layout; "
+                "use the banded variant");
   trace_.clear();
   machine_.reset();
   bound_ = support::two_ceil_sqrt(n_);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/pw_dense.hpp"
 #include "core/sublinear_solver.hpp"
 #include "dp/sequential.hpp"
 #include "support/rng.hpp"
@@ -210,6 +211,124 @@ TEST(FastPath, WindowedPebbleMatchesReferenceEngine) {
   const auto a = ref.solve(*problem);
   const auto b = fast.solve(*problem);
   expect_identical(a, b, "windowed");
+}
+
+// ---- Cross-layout equivalence ----------------------------------------------
+// The storage-policy refactor must leave semantics untouched: layouts that
+// store the same entry set are bit-identical in every observable, and all
+// layouts agree on the converged tables.
+
+TEST(CrossLayout, DenseAndWideBandAgreeBitForBitOnEveryFamily) {
+  // The entries-indexed dense layout and a banded table with band = n
+  // store exactly the same entry set (only the addressing differs), so
+  // costs, w tables, iteration schedules and per-iteration change counts
+  // must match bit for bit — reference and fast engines alike.
+  for (const std::string& family : bench::instance_families()) {
+    support::Rng rng(4242);
+    const std::size_t n = 21;
+    const auto problem = bench::make_instance(family, n, rng);
+
+    const auto ref =
+        run_config(*problem, reference_config(), PwVariant::kDense);
+    EXPECT_EQ(ref.cost, dp::solve_sequential(*problem).cost) << family;
+
+    const auto dense_fast = run_config(
+        *problem, {"dense,fast", true, true, false, pram::Backend::kSerial},
+        PwVariant::kDense);
+    expect_identical(ref, dense_fast, family + " / dense fast");
+
+    for (const bool fast : {false, true}) {
+      SublinearOptions options;
+      options.variant = PwVariant::kBanded;
+      options.band_width = n;  // wide band: stores every slack, like dense
+      options.delta_buffering = fast;
+      options.frontier_sweeps = fast;
+      options.machine.record_costs = !fast;
+      SublinearSolver solver(options);
+      const auto got = solver.solve(*problem);
+      expect_identical(ref, got,
+                       family + (fast ? " / wide-band fast"
+                                      : " / wide-band reference"));
+    }
+  }
+}
+
+TEST(CrossLayout, DenseAndBandedConvergeToTheSameTables) {
+  // Different stored sets (Sec. 2 vs Sec. 5) take different iteration
+  // paths, but both fixed points are the full optimum: final w tables and
+  // costs agree with each other and with sequential DP.
+  for (const std::string& family : bench::instance_families()) {
+    support::Rng rng(911);
+    const auto problem = bench::make_instance(family, 26, rng);
+    SublinearOptions fast;
+    fast.machine.record_costs = false;
+
+    SublinearOptions dense_opts = fast;
+    dense_opts.variant = PwVariant::kDense;
+    SublinearSolver dense_solver(dense_opts);
+    const auto dense = dense_solver.solve(*problem);
+
+    SublinearOptions banded_opts = fast;
+    banded_opts.variant = PwVariant::kBanded;
+    SublinearSolver banded_solver(banded_opts);
+    const auto banded = banded_solver.solve(*problem);
+
+    EXPECT_EQ(dense.cost, dp::solve_sequential(*problem).cost) << family;
+    EXPECT_EQ(dense.cost, banded.cost) << family;
+    EXPECT_TRUE(dense.w == banded.w) << family << ": w tables differ";
+  }
+}
+
+TEST(CrossLayout, DensePastTheOldCubeCapSolvesCorrectly) {
+  // n = 80 would have needed a 330-MB (n+1)^4 cube (rejected at 64); the
+  // entries-indexed layout handles it in ~14 MB and still matches
+  // sequential DP and the banded layout.
+  support::Rng rng(8080);
+  const std::size_t n = 80;
+  const auto problem = bench::make_instance("matrix-chain", n, rng);
+  SublinearOptions dense_opts;
+  dense_opts.variant = PwVariant::kDense;
+  dense_opts.machine.record_costs = false;
+  SublinearSolver dense_solver(dense_opts);
+  const auto dense = dense_solver.solve(*problem);
+  EXPECT_EQ(dense.cost, dp::solve_sequential(*problem).cost);
+
+  SublinearOptions banded_opts;
+  banded_opts.machine.record_costs = false;
+  SublinearSolver banded_solver(banded_opts);
+  const auto banded = banded_solver.solve(*problem);
+  EXPECT_EQ(dense.cost, banded.cost);
+  EXPECT_TRUE(dense.w == banded.w);
+}
+
+TEST(CrossLayout, PrepareEnforcesTheNewDenseLimit) {
+  class SizedProblem final : public dp::Problem {
+   public:
+    explicit SizedProblem(std::size_t n) : n_(n) {}
+    [[nodiscard]] std::size_t size() const override { return n_; }
+    [[nodiscard]] Cost init(std::size_t) const override { return 0; }
+    [[nodiscard]] Cost f(std::size_t, std::size_t, std::size_t) const
+        override {
+      return 0;
+    }
+    [[nodiscard]] std::string name() const override { return "sized"; }
+
+   private:
+    std::size_t n_;
+  };
+
+  SublinearOptions dense_opts;
+  dense_opts.variant = PwVariant::kDense;
+  SublinearSolver solver(dense_opts);
+
+  // Rejected up front (before any table allocation).
+  const SizedProblem too_big(DensePwTable::kMaxDenseN + 1);
+  EXPECT_THROW(solver.prepare(too_big), std::invalid_argument);
+
+  // Accepted well past the old 64 cube cap.
+  const SizedProblem past_old_cap(80);
+  solver.prepare(past_old_cap);
+  EXPECT_GT(solver.pw_cell_count(), 0u);
 }
 
 TEST(FastPath, OversizedInstancesAreRejectedUpFront) {

@@ -1,17 +1,26 @@
 // Tests for the two pw-table layouts (core/pw_dense.hpp,
 // core/pw_banded.hpp): addressing, band semantics, the Sec. 5 cell-count
-// reduction, and dense/banded agreement inside the band.
+// reduction, dense/banded agreement inside the band, and the
+// storage-policy surface (pw_layout.hpp) — overflow-checked sizing,
+// unchecked in-band slots, and the incremental window cursors the engine's
+// fast square kernel reads through.
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <utility>
 
 #include "core/pw_banded.hpp"
 #include "core/pw_dense.hpp"
+#include "core/pw_layout.hpp"
 #include "support/stats.hpp"
 
 namespace subdp::core {
 namespace {
+
+static_assert(PwStoragePolicy<DensePwTable>);
+static_assert(PwStoragePolicy<BandedPwTable>);
 
 TEST(DensePwTable, IdentityGapIsZero) {
   DensePwTable t(6);
@@ -61,8 +70,130 @@ TEST(DensePwTable, EntriesAreUniqueAndValid) {
 }
 
 TEST(DensePwTable, RejectsOversizedN) {
+  // The cap throws before any allocation, so this is cheap even though
+  // kMaxDenseN is now 192.
   EXPECT_THROW(DensePwTable t(DensePwTable::kMaxDenseN + 1),
                std::invalid_argument);
+}
+
+TEST(DensePwTable, CapIsWellPastTheOldCubeLimit) {
+  // The seed's (n+1)^4 cube capped dense instances at 64; the
+  // entries-indexed layout lifts that.
+  EXPECT_GE(DensePwTable::kMaxDenseN, 128u);
+}
+
+TEST(DensePwTable, AddressingIsInjectiveAndInBounds) {
+  const std::size_t n = 12;
+  DensePwTable t(n);
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      for (std::size_t p = i; p < j; ++p) {
+        for (std::size_t q = p + 1; q <= j; ++q) {
+          if (p == i && q == j) continue;
+          const std::uint64_t addr = t.address(i, j, p, q);
+          EXPECT_LT(addr, t.cell_count());
+          EXPECT_TRUE(seen.insert(addr).second)
+              << "(" << i << "," << j << "," << p << "," << q << ")";
+          EXPECT_EQ(t.entry_slot(i, j, p, q), addr);
+          EXPECT_EQ(t.in_band_slot(i, j, p, q), addr);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), t.entry_count());
+}
+
+TEST(DensePwTable, CellCountIsEntriesPlusOneIdentitySlotPerRoot) {
+  // The entries-indexed layout wastes exactly the identity slot per root
+  // (kept so gap addressing stays branch-free) — a ~24x cut from the old
+  // (n+1)^4 cube.
+  for (const std::size_t n : {4u, 9u, 17u}) {
+    DensePwTable t(n);
+    std::size_t roots = 0;
+    for (std::size_t len = 2; len <= n; ++len) roots += n - len + 1;
+    EXPECT_EQ(t.cell_count(), t.entry_count() + roots) << "n=" << n;
+    const std::size_t cube = (n + 1) * (n + 1) * (n + 1) * (n + 1);
+    EXPECT_LT(t.cell_count() * 10, cube) << "n=" << n;
+  }
+}
+
+TEST(PwLayout, CheckedSizeArithmeticThrowsInsteadOfWrapping) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  EXPECT_EQ(checked_size_mul(3, 7), 21u);
+  EXPECT_EQ(checked_size_mul(kMax, 0), 0u);
+  EXPECT_EQ(checked_size_add(kMax - 1, 1), kMax);
+  EXPECT_THROW((void)checked_size_mul(kMax / 2, 3), std::invalid_argument);
+  EXPECT_THROW((void)checked_size_add(kMax, 1), std::invalid_argument);
+}
+
+// ---- Window cursors / unchecked in-band reads ----
+
+/// Replicates the engine's HLV window and walks both cursors plus the
+/// second-operand `in_band_slot` reads, comparing every value against the
+/// general `get`. Exercised for both layouts below.
+template <class Table>
+void expect_cursors_match_get(Table& t) {
+  const std::size_t n = t.n();
+  const std::size_t maxs = t.max_slack();
+  // Make every stored cell distinct so an addressing slip cannot alias to
+  // the right value.
+  Cost v = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      for (std::size_t p = i; p < j; ++p) {
+        for (std::size_t q = p + 1; q <= j; ++q) {
+          if ((p == i && q == j) || !t.stores(i, j, p, q)) continue;
+          t.set(i, j, p, q, v++);
+        }
+      }
+    }
+  }
+  const Cost* raw = std::as_const(t).raw_cells();
+  for (const Quad& e : t.entries()) {
+    const std::size_t i = e.i, j = e.j, p = e.p, q = e.q;
+    const std::size_t r_lo = p > maxs && p - maxs > i ? p - maxs : i;
+    const std::size_t s_hi = q + maxs < j ? q + maxs : j;
+    std::size_t r = r_lo;
+    if (r == i && q == j) ++r;  // identity operand: not an in-band cell
+    if (r < p) {
+      PwWindowCursor cur = t.r_window_cursor(i, j, r, q);
+      for (; r < p; ++r) {
+        ASSERT_EQ(cur.value(), t.get(i, j, r, q))
+            << "r-cursor (" << i << "," << j << "," << r << "," << q << ")";
+        cur.advance();
+        ASSERT_EQ(raw[t.in_band_slot(r, q, p, q)], t.get(r, q, p, q))
+            << "r-slot (" << r << "," << q << "," << p << "," << q << ")";
+      }
+    }
+    std::size_t s_end = s_hi;
+    if (p == i && s_end == j) --s_end;  // identity operand
+    if (q < s_end) {
+      PwWindowCursor cur = t.s_window_cursor(i, j, p, q + 1);
+      for (std::size_t s = q + 1; s <= s_end; ++s) {
+        ASSERT_EQ(cur.value(), t.get(i, j, p, s))
+            << "s-cursor (" << i << "," << j << "," << p << "," << s << ")";
+        cur.advance();
+        ASSERT_EQ(raw[t.in_band_slot(p, s, p, q)], t.get(p, s, p, q))
+            << "s-slot (" << p << "," << s << "," << p << "," << q << ")";
+      }
+    }
+  }
+}
+
+TEST(PwLayoutCursors, DenseWindowsMatchGeneralGet) {
+  DensePwTable t(11);
+  expect_cursors_match_get(t);
+}
+
+TEST(PwLayoutCursors, BandedWindowsMatchGeneralGet) {
+  BandedPwTable t(13, 4);
+  expect_cursors_match_get(t);
+}
+
+TEST(PwLayoutCursors, BandedWideBandWindowsMatchGeneralGet) {
+  BandedPwTable t(10, 10);
+  expect_cursors_match_get(t);
 }
 
 TEST(DensePwTable, ResetRestoresInfinity) {
