@@ -16,8 +16,19 @@
 //    iteration count and full w table are bit-identical before writing
 //    rows. The instrumented PRAM work ledger is recorded once per
 //    (family, n) up to n = 96 (larger counted runs would dominate the
-//    sweep; rows above carry total_work = 0). The output (conventionally
-//    BENCH_walltime.json) is what CI tracks across PRs.
+//    sweep; rows above carry total_work = 0). Per family the sweep also
+//    times the batched front door: 16 same-n banded instances through
+//    BatchSolver::solve_all (plan built once, session tables reset in
+//    place) against the same instances through a fresh per-instance
+//    solver each — rows with mode "batch-amortised" / "batch-loop" and
+//    an "instances" count; the two paths are asserted bit-identical
+//    first. The output (conventionally BENCH_walltime.json) is what CI
+//    tracks across PRs.
+//
+//    `--families=<a,b,...>` restricts the sweep to a comma-separated
+//    subset of families and `--max-n=<n>` caps the ladder (batch rows
+//    clamp to it), so CI can smoke-run a single tiny batch row, e.g.
+//    `--json=out.json --families=matrix-chain --max-n=32`.
 //
 // The PRAM results are about operation counts; this suite grounds the
 // simulator on actual hardware. On a machine with few cores the
@@ -35,6 +46,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/batch_solver.hpp"
 #include "core/sublinear_solver.hpp"
 #include "dp/matrix_chain.hpp"
 #include "dp/sequential.hpp"
@@ -139,7 +151,9 @@ struct SweepRow {
   std::string variant;  // "banded" | "dense"
   std::string engine;   // "reference" | "fast"
   std::string backend;  // "serial" | "threads" | "openmp"
-  double wall_ms = 0.0;
+  std::string mode = "single";  // | "batch-amortised" | "batch-loop"
+  std::size_t instances = 1;    // problems timed in this row
+  double wall_ms = 0.0;         // total across `instances`
   std::uint64_t total_work = 0;  // instrumented PRAM ops; 0 = not counted
   std::size_t iterations = 0;
   Cost cost = 0;
@@ -248,7 +262,105 @@ void sweep_variant(const dp::Problem& problem, const std::string& family,
   }
 }
 
-void run_json_sweep(const std::string& path) {
+// ---- Batch rows: the plan-amortised front door vs a per-instance loop ----
+
+/// Times `count` same-n instances of `family` through (a) a fresh
+/// per-instance solver each — every instance pays plan construction —
+/// and (b) `BatchSolver::solve_all`, which builds the plan once and
+/// resets one session's tables in place across the group. Asserts the
+/// two paths bit-identical before recording either row.
+void sweep_batch(const std::string& family, std::size_t n,
+                 std::size_t count, std::vector<SweepRow>& rows) {
+  std::vector<std::unique_ptr<dp::Problem>> owned;
+  owned.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    support::Rng rng(7000 + 131 * k + n);
+    owned.push_back(bench::make_instance(family, n, rng));
+  }
+  std::vector<const dp::Problem*> pointers;
+  pointers.reserve(count);
+  for (const auto& p : owned) pointers.push_back(p.get());
+
+  core::SublinearOptions options;
+  options.machine.record_costs = false;
+
+  std::vector<core::SublinearResult> loop_results(count);
+  double loop_ms = 0.0;
+  double batch_ms = 0.0;
+  core::BatchResult batch_out;
+  // Best-of-3: at n = 96 the per-instance preparation being amortised is
+  // ~10-20 ms against multi-second totals, so single-shot timing noise
+  // could drown the signal.
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<core::SublinearResult> results(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      core::SublinearSolver solver(options);  // pays preparation per instance
+      results[k] = solver.solve(*pointers[k]);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < loop_ms) loop_ms = ms;
+    if (rep == 0) loop_results = std::move(results);
+
+    core::BatchSolver batch(options);  // cold cache: plan built inside
+    const auto b0 = std::chrono::steady_clock::now();
+    auto out = batch.solve_all(pointers);
+    const auto b1 = std::chrono::steady_clock::now();
+    const double bms =
+        std::chrono::duration<double, std::milli>(b1 - b0).count();
+    if (rep == 0 || bms < batch_ms) batch_ms = bms;
+    if (rep == 0) batch_out = std::move(out);
+  }
+
+  for (std::size_t k = 0; k < count; ++k) {
+    SUBDP_REQUIRE(batch_out.results[k].cost == loop_results[k].cost &&
+                      batch_out.results[k].iterations ==
+                          loop_results[k].iterations &&
+                      batch_out.results[k].w == loop_results[k].w,
+                  "batched solve diverged from the per-instance loop");
+  }
+
+  for (const bool amortised : {false, true}) {
+    SweepRow row;
+    row.family = family;
+    row.n = n;
+    row.variant = core::to_string(core::PwVariant::kBanded);
+    row.engine = "fast";
+    row.backend = pram::to_string(options.machine.backend);
+    row.mode = amortised ? "batch-amortised" : "batch-loop";
+    row.instances = count;
+    row.wall_ms = amortised ? batch_ms : loop_ms;
+    row.iterations = batch_out.ledger.total_iterations;
+    row.cost = batch_out.results.front().cost;
+    rows.push_back(row);
+    std::printf("%-14s n=%-4zu %-7s %-15s x%zu  %10.3f ms\n",
+                family.c_str(), n, row.variant.c_str(), row.mode.c_str(),
+                count, row.wall_ms);
+  }
+  std::printf("%-14s n=%-4zu batch amortisation saves %.1f ms (%.1f%%)\n",
+              family.c_str(), n, loop_ms - batch_ms,
+              100.0 * (loop_ms - batch_ms) / loop_ms);
+}
+
+/// Comma-separated `--families=` filter; empty = all families.
+std::vector<std::string> parse_family_filter(const std::string& arg) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= arg.size()) {
+    const std::size_t comma = arg.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? arg.size() : comma;
+    if (end > begin) out.push_back(arg.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+void run_json_sweep(const std::string& path,
+                    const std::vector<std::string>& family_filter,
+                    std::size_t max_n) {
   // Open the output up front: the sweep takes minutes, and a bad path
   // should fail before measuring, not after.
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -269,20 +381,45 @@ void run_json_sweep(const std::string& path) {
   } else {
     std::printf("(openmp backend not compiled in; skipping its rows)\n");
   }
+  std::vector<std::string> families = bench::instance_families();
+  if (!family_filter.empty()) {
+    families.clear();
+    for (const std::string& name : family_filter) {
+      bool known = false;
+      for (const std::string& f : bench::instance_families()) {
+        known = known || f == name;
+      }
+      if (!known) {
+        std::fprintf(stderr, "unknown instance family: %s\n", name.c_str());
+        std::exit(1);
+      }
+      families.push_back(name);
+    }
+  }
+  // The batch rows' size: the acceptance point n = 96, clamped so a
+  // --max-n smoke run stays tiny.
+  const std::size_t batch_n = max_n < 96 ? max_n : 96;
+  // 16 instances: twice the acceptance floor of 8, so the amortised
+  // preparation (15 plan builds saved) stands clear of timing noise.
+  constexpr std::size_t kBatchInstances = 16;
+
   std::vector<SweepRow> rows;
-  for (const std::string& family : bench::instance_families()) {
+  for (const std::string& family : families) {
     for (const LadderPoint& point : banded_ladder) {
+      if (point.n > max_n) continue;
       support::Rng rng(1234 + point.n);
       const auto problem = bench::make_instance(family, point.n, rng);
       sweep_variant(*problem, family, core::PwVariant::kBanded, point,
                     backends, rows);
     }
     for (const LadderPoint& point : dense_ladder) {
+      if (point.n > max_n) continue;
       support::Rng rng(1234 + point.n);
       const auto problem = bench::make_instance(family, point.n, rng);
       sweep_variant(*problem, family, core::PwVariant::kDense, point,
                     backends, rows);
     }
+    sweep_batch(family, batch_n, kBatchInstances, rows);
   }
 
   std::fprintf(out, "{\n  \"bench\": \"walltime\",\n  \"results\": [\n");
@@ -291,10 +428,11 @@ void run_json_sweep(const std::string& path) {
     std::fprintf(
         out,
         "    {\"family\": \"%s\", \"n\": %zu, \"variant\": \"%s\", "
-        "\"engine\": \"%s\", \"backend\": \"%s\", \"wall_ms\": %.4f, "
+        "\"engine\": \"%s\", \"backend\": \"%s\", \"mode\": \"%s\", "
+        "\"instances\": %zu, \"wall_ms\": %.4f, "
         "\"total_work\": %llu, \"iterations\": %zu, \"cost\": %lld}%s\n",
         row.family.c_str(), row.n, row.variant.c_str(), row.engine.c_str(),
-        row.backend.c_str(), row.wall_ms,
+        row.backend.c_str(), row.mode.c_str(), row.instances, row.wall_ms,
         static_cast<unsigned long long>(row.total_work), row.iterations,
         static_cast<long long>(row.cost), r + 1 < rows.size() ? "," : "");
   }
@@ -307,18 +445,34 @@ void run_json_sweep(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::vector<std::string> family_filter;
+  std::size_t max_n = SIZE_MAX;
   int kept = 1;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--json=", 7) == 0) {
       json_path = argv[a] + 7;
+    } else if (std::strncmp(argv[a], "--families=", 11) == 0) {
+      family_filter = parse_family_filter(argv[a] + 11);
+    } else if (std::strncmp(argv[a], "--max-n=", 8) == 0) {
+      max_n = static_cast<std::size_t>(std::strtoull(argv[a] + 8,
+                                                     nullptr, 10));
+      if (max_n < 2) {
+        std::fprintf(stderr, "--max-n must be at least 2\n");
+        return 1;
+      }
     } else {
       argv[kept++] = argv[a];
     }
   }
   argc = kept;
   if (!json_path.empty()) {
-    run_json_sweep(json_path);
+    run_json_sweep(json_path, family_filter, max_n);
     return 0;
+  }
+  if (!family_filter.empty() || max_n != SIZE_MAX) {
+    std::fprintf(stderr,
+                 "--families / --max-n filter the --json sweep only\n");
+    return 1;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,5 +1,6 @@
 // Quickstart: solve a matrix-chain instance with the paper's sublinear
-// algorithm and inspect the solution.
+// algorithm, then batch-solve a stream of same-shape instances through
+// the prepare-once/solve-many front door.
 //
 //   $ ./quickstart
 //
@@ -7,13 +8,20 @@
 //   MatrixChainProblem problem({30, 35, 15, 5, 10, 20, 25});
 //   auto solution = subdp::core::solve(problem);
 //   // solution.cost, solution.tree, solution.iterations, ...
+//
+// and the serving-shaped API for many instances:
+//   core::BatchSolver batch;
+//   auto out = batch.solve_all(instances);   // one plan per shape,
+//   // out.results[k].cost, ...              // tables reused in place
 
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/api.hpp"
 #include "dp/matrix_chain.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
@@ -50,5 +58,33 @@ int main() {
   std::printf("  PRAM depth      : %llu parallel time units\n",
               static_cast<unsigned long long>(solution.pram_depth));
 
-  return solution.cost == 15125 ? 0 : 1;  // the textbook answer
+  // Heavy-traffic shape: many instances, few distinct sizes. BatchSolver
+  // groups by size, builds each SolvePlan (entry lists, layout offsets,
+  // schedules) once, and re-initialises one session's tables in place
+  // across every instance of that shape.
+  subdp::support::Rng rng(7);
+  std::vector<subdp::dp::MatrixChainProblem> stream;
+  for (int k = 0; k < 8; ++k) {
+    stream.push_back(subdp::dp::MatrixChainProblem::random(24, rng));
+  }
+  std::vector<const subdp::dp::Problem*> instances;
+  for (const auto& p : stream) instances.push_back(&p);
+
+  subdp::core::BatchSolver batch;
+  const subdp::core::BatchResult out = batch.solve_all(instances);
+
+  long long cost_sum = 0;
+  for (const auto& r : out.results) {
+    cost_sum += static_cast<long long>(r.cost);
+  }
+  std::printf("\n  batched front door: %zu instances of n=24 in %zu shape "
+              "group(s), %zu plan(s) built\n",
+              out.ledger.instances, out.ledger.shape_groups,
+              out.ledger.plans_built);
+  std::printf("  total iterations : %zu, summed optimal cost %lld\n",
+              out.ledger.total_iterations, cost_sum);
+
+  const bool batch_ok =
+      out.ledger.plans_built == 1 && out.results.size() == 8;
+  return solution.cost == 15125 && batch_ok ? 0 : 1;  // textbook answer
 }

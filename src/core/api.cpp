@@ -1,36 +1,45 @@
 #include "core/api.hpp"
 
+#include "core/solve_plan.hpp"
+#include "core/solve_session.hpp"
+
 namespace subdp::core {
 
 Solution solve(const dp::Problem& problem, const SublinearOptions& options) {
-  SublinearSolver solver(options);
-  SublinearResult result = solver.solve(problem);
+  SolveSession session(SolvePlan::create(problem.size(), options));
+  SublinearResult result = session.solve(problem);
 
   Solution solution;
   solution.cost = result.cost;
   solution.iterations = result.iterations;
   solution.iteration_bound = result.iteration_bound;
   solution.reached_fixed_point = result.reached_fixed_point;
-  solution.pram_work = solver.machine().costs().total_work();
-  solution.pram_depth = solver.machine().costs().total_depth();
+  solution.pram_work = session.machine().costs().total_work();
+  solution.pram_depth = session.machine().costs().total_depth();
   solution.tree = problem.size() == 1
                       ? trees::FullBinaryTree::build(1, {})
                       : dp::extract_tree_from_w(problem, result.w);
   return solution;
 }
 
-SublinearResult solve_rytter(const dp::Problem& problem,
-                             pram::Backend backend) {
-  SUBDP_REQUIRE(problem.size() <= 24,
-                "Rytter's square step performs O(n^6) work per iteration; "
-                "restrict to small instances");
+SublinearOptions rytter_options() {
   SublinearOptions options;
   options.variant = PwVariant::kDense;
   options.square_mode = SquareMode::kRytterFull;
   options.termination = TerminationMode::kFixedPoint;
-  options.machine.backend = backend;
-  SublinearSolver solver(options);
-  return solver.solve(problem);
+  return options;
+}
+
+SublinearResult solve_rytter(const dp::Problem& problem,
+                             const SublinearOptions& options) {
+  SUBDP_REQUIRE(options.square_mode == SquareMode::kRytterFull,
+                "solve_rytter requires SquareMode::kRytterFull; use "
+                "core::solve / SublinearSolver for the paper's square");
+  SUBDP_REQUIRE(problem.size() <= 24,
+                "Rytter's square step performs O(n^6) work per iteration; "
+                "restrict to small instances");
+  SolveSession session(SolvePlan::create(problem.size(), options));
+  return session.solve(problem);
 }
 
 }  // namespace subdp::core

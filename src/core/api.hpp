@@ -1,12 +1,26 @@
 #pragma once
 
 /// \file api.hpp
-/// Top-level convenience API: solve an instance of recurrence (*) with the
-/// paper's algorithm and get back the cost, the optimal tree and the
-/// iteration/work statistics. This is what the examples use; power users
-/// construct `SublinearSolver` directly for stepping, tracing or CREW
-/// checking.
+/// Top-level convenience API over the plan/session architecture.
+///
+/// Three tiers, lowest friction first:
+///  * `solve(problem, options)` — one instance in, assembled `Solution`
+///    out (cost, optimal tree, iteration and PRAM statistics). Builds a
+///    throwaway plan+session pair; what the examples use.
+///  * `BatchSolver` (batch_solver.hpp) — many instances in, per-instance
+///    results out, with per-shape preparation (entry lists, layout
+///    offsets, schedules) built once per distinct `n` and tables reused
+///    in place across same-shape instances. The serving front door.
+///  * `SolvePlan` / `SolveSession` (solve_plan.hpp / solve_session.hpp) —
+///    explicit prepare-once/solve-many: share one immutable plan across
+///    worker sessions, step, trace, or CREW-check each solve. What
+///    `SublinearSolver` and the tiers above are built from.
+///
+/// `solve_rytter` runs the Rytter-style full-squaring baseline of [8]
+/// through the same plan/session machinery; its options must select
+/// `SquareMode::kRytterFull` (see `rytter_options()` for the defaults).
 
+#include "core/batch_solver.hpp"
 #include "core/solver_types.hpp"
 #include "core/sublinear_solver.hpp"
 #include "dp/problem.hpp"
@@ -31,10 +45,18 @@ struct Solution {
 [[nodiscard]] Solution solve(const dp::Problem& problem,
                              const SublinearOptions& options = {});
 
-/// Solves with Rytter-style full squaring (the baseline of [8]); dense
-/// layout, O(log n) iterations, O(n^6) work per square. Small n only.
+/// The canonical options for the Rytter baseline: dense layout, full
+/// squaring, fixed-point termination (O(log n) iterations), default
+/// backend.
+[[nodiscard]] SublinearOptions rytter_options();
+
+/// Solves with Rytter-style full squaring (the baseline of [8]); O(n^6)
+/// work per square, so small n only. `options` must keep
+/// `SquareMode::kRytterFull` (start from `rytter_options()` to adjust the
+/// backend, termination or iteration cap); routed through the same
+/// plan/session machinery as every other solve.
 [[nodiscard]] SublinearResult solve_rytter(
     const dp::Problem& problem,
-    pram::Backend backend = pram::default_backend());
+    const SublinearOptions& options = rytter_options());
 
 }  // namespace subdp::core

@@ -1,0 +1,53 @@
+#include "core/batch_solver.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::core {
+
+BatchSolver::BatchSolver(SublinearOptions options)
+    : options_(options) {}
+
+std::shared_ptr<const SolvePlan> BatchSolver::plan_for(std::size_t n) const {
+  const auto it = sessions_.find(n);
+  return it != sessions_.end() ? it->second->plan_ptr() : nullptr;
+}
+
+BatchResult BatchSolver::solve_all(
+    std::span<const dp::Problem* const> problems) {
+  BatchResult out;
+  out.results.resize(problems.size());
+  out.ledger.instances = problems.size();
+
+  // Group instance indices by shape so each plan is built at most once
+  // and each group streams through one session's reset-in-place tables.
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t idx = 0; idx < problems.size(); ++idx) {
+    SUBDP_REQUIRE(problems[idx] != nullptr,
+                  "solve_all: null problem pointer");
+    groups[problems[idx]->size()].push_back(idx);
+  }
+  out.ledger.shape_groups = groups.size();
+
+  for (const auto& [n, indices] : groups) {
+    auto it = sessions_.find(n);
+    if (it == sessions_.end()) {
+      it = sessions_
+               .emplace(n, std::make_unique<SolveSession>(
+                               SolvePlan::create(n, options_)))
+               .first;
+      ++out.ledger.plans_built;
+    } else {
+      ++out.ledger.plans_reused;
+    }
+    SolveSession& session = *it->second;
+    for (const std::size_t idx : indices) {
+      out.results[idx] = session.solve(*problems[idx]);
+      out.ledger.total_iterations += out.results[idx].iterations;
+      out.ledger.total_work += session.machine().costs().total_work();
+      out.ledger.total_depth += session.machine().costs().total_depth();
+    }
+  }
+  return out;
+}
+
+}  // namespace subdp::core

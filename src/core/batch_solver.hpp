@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file batch_solver.hpp
+/// The batched front door for heavy-traffic workloads: solve many
+/// instances with per-shape preparation amortised away.
+///
+/// `BatchSolver::solve_all` groups the input instances by shape (`n`;
+/// options are fixed per solver), builds one `SolvePlan` per distinct
+/// shape — entry lists, layout offsets, pair lists, iteration schedule —
+/// and then runs every same-shape instance through one reusable
+/// `SolveSession`, whose tables are re-initialised in place between
+/// instances instead of reallocated. Results are returned in input order
+/// and are bit-identical to independent `core::solve` calls (the batch
+/// test suite asserts this); an aggregated ledger reports how much
+/// preparation the grouping saved and, when the cost ledger is on, the
+/// summed PRAM work/depth.
+///
+/// Plans and sessions persist across `solve_all` calls, so a long-lived
+/// `BatchSolver` behaves like a warm server: the first batch of a new
+/// shape pays the preparation, every later batch of that shape starts
+/// hot.
+///
+/// ```
+/// core::BatchSolver batch;                       // banded defaults
+/// std::vector<const dp::Problem*> instances = ...;
+/// auto out = batch.solve_all(instances);
+/// // out.results[k].cost, out.ledger.plans_built, ...
+/// ```
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/solve_plan.hpp"
+#include "core/solve_session.hpp"
+#include "core/solver_types.hpp"
+#include "dp/problem.hpp"
+
+namespace subdp::core {
+
+/// Aggregate accounting for one `solve_all` call.
+struct BatchLedger {
+  std::size_t instances = 0;      ///< Problems solved.
+  std::size_t shape_groups = 0;   ///< Distinct `n` among the inputs.
+  std::size_t plans_built = 0;    ///< Plans newly built by this call.
+  std::size_t plans_reused = 0;   ///< Shape groups served by a warm plan.
+  std::size_t total_iterations = 0;
+  /// Summed PRAM work/depth across instances; 0 unless
+  /// `options.machine.record_costs` is on.
+  std::uint64_t total_work = 0;
+  std::uint64_t total_depth = 0;
+};
+
+/// All per-instance results (input order) plus the aggregate ledger.
+struct BatchResult {
+  std::vector<SublinearResult> results;
+  BatchLedger ledger;
+};
+
+/// Prepare-once/solve-many front door; see the file comment.
+class BatchSolver {
+ public:
+  explicit BatchSolver(SublinearOptions options = {});
+
+  /// Solves every instance, grouping by shape to share plans and
+  /// sessions. Null pointers are rejected. Results land in input order.
+  [[nodiscard]] BatchResult solve_all(
+      std::span<const dp::Problem* const> problems);
+
+  /// Warm shapes currently cached (one plan + session per distinct `n`).
+  [[nodiscard]] std::size_t cached_plan_count() const noexcept {
+    return sessions_.size();
+  }
+
+  /// The plan serving shape `n`, or null if that shape was never solved.
+  [[nodiscard]] std::shared_ptr<const SolvePlan> plan_for(
+      std::size_t n) const;
+
+  [[nodiscard]] const SublinearOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  SublinearOptions options_;
+  /// Keyed by `n`; each session pins its plan via `plan_ptr()`.
+  std::map<std::size_t, std::unique_ptr<SolveSession>> sessions_;
+};
+
+}  // namespace subdp::core

@@ -108,6 +108,10 @@ class IEngine {
  public:
   virtual ~IEngine() = default;
   virtual IterationOutcome iterate() = 0;
+  /// Re-initialises every per-instance table and counter in place for a
+  /// new problem of the same shape — no reallocation, no geometry rebuild
+  /// (the `SolveSession::reset` hot path).
+  virtual void reset(const dp::Problem& problem) = 0;
   [[nodiscard]] virtual std::size_t iterations_done() const = 0;
   [[nodiscard]] virtual Cost w_value(std::size_t i, std::size_t j) const = 0;
   [[nodiscard]] virtual Cost pw_value(std::size_t i, std::size_t j,
@@ -125,64 +129,136 @@ struct Pair {
   std::uint32_t j = 0;
 };
 
+/// One root's contiguous run `[begin, end)` of the square-entry list,
+/// plus the root's index into the pair list (root-major sweep unit).
+struct RootBlock {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t pair = 0;
+};
+
+/// Everything the engine precomputes that depends only on the *shape*
+/// `(n, band, options)` — never on a concrete instance's costs: the shared
+/// storage layout, the length-major pair list and its offsets, the write-
+/// log slot of every square entry, the root-block runs of the root-major
+/// sweep, and the activate-site total the frontier density test compares
+/// against. A `SolvePlan` builds one `EngineShape` per pw layout and every
+/// engine (session) of that shape shares it, so per-instance preparation
+/// is a table fill instead of an O(n^2 B^2) rebuild.
+template <class Table>
+struct EngineShape {
+  static_assert(PwStoragePolicy<Table>,
+                "EngineShape requires a pw storage policy");
+
+  std::shared_ptr<const typename Table::Layout> layout;
+  std::size_t n = 0;
+  std::size_t band = 0;
+  /// Pairs with length >= 2, grouped by length ascending.
+  std::vector<Pair> pairs;
+  /// Prefix offsets addressing a window of lengths in `pairs`.
+  std::vector<std::size_t> pairs_offset_by_length;
+  /// Storage slot per square entry (delta-buffered write-log apply).
+  std::vector<std::uint32_t> entry_slots;
+  /// Per-root runs of the entry list (root-major square sweep).
+  std::vector<RootBlock> root_blocks;
+  /// Total (pair, split) activate sites — the frontier density cutoff.
+  std::uint64_t total_split_sites = 0;
+
+  /// Index of pair `(i,j)` in `pairs` (groups are length-major, then `i`).
+  [[nodiscard]] std::size_t pair_index(std::size_t i, std::size_t j) const {
+    return pairs_offset_by_length[j - i] + i;
+  }
+
+  [[nodiscard]] static std::shared_ptr<const EngineShape> build(
+      std::size_t n, std::size_t band, const SublinearOptions& options) {
+    auto shape = std::make_shared<EngineShape>();
+    shape->layout = Table::make_layout(n, band);
+    shape->n = n;
+    shape->band = band;
+
+    shape->pairs_offset_by_length.assign(n + 2, 0);
+    for (std::size_t len = 2; len <= n; ++len) {
+      shape->pairs_offset_by_length[len] = shape->pairs.size();
+      for (std::size_t i = 0; i + len <= n; ++i) {
+        shape->pairs.push_back(Pair{static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint32_t>(i + len)});
+      }
+    }
+    shape->pairs_offset_by_length[n + 1] = shape->pairs.size();
+    // Lengths below 2 alias the first real group.
+    shape->pairs_offset_by_length[0] = 0;
+    shape->pairs_offset_by_length[1] = 0;
+
+    for (const Pair pr : shape->pairs) {
+      shape->total_split_sites += pr.j - pr.i - 1;
+    }
+
+    const auto& quads = shape->layout->entries();
+    if (options.delta_buffering) {
+      SUBDP_REQUIRE(shape->layout->cell_count() <= UINT32_MAX,
+                    "pw table too large for 32-bit write-log slots");
+      shape->entry_slots.reserve(quads.size());
+      for (const Quad& t : quads) {
+        shape->entry_slots.push_back(static_cast<std::uint32_t>(
+            shape->layout->entry_slot(t.i, t.j, t.p, t.q)));
+      }
+      // Per-root runs of the entry list (both layouts emit the quads of a
+      // root contiguously) — the unit of the root-major square sweep.
+      auto& blocks = shape->root_blocks;
+      for (std::size_t idx = 0; idx < quads.size(); ++idx) {
+        const Quad& t = quads[idx];
+        if (blocks.empty() ||
+            shape->pairs[blocks.back().pair].i != t.i ||
+            shape->pairs[blocks.back().pair].j != t.j) {
+          if (!blocks.empty()) {
+            blocks.back().end = static_cast<std::uint32_t>(idx);
+          }
+          blocks.push_back(RootBlock{
+              static_cast<std::uint32_t>(idx), 0,
+              static_cast<std::uint32_t>(shape->pair_index(t.i, t.j))});
+        }
+      }
+      if (!blocks.empty()) {
+        blocks.back().end = static_cast<std::uint32_t>(quads.size());
+      }
+    }
+    return shape;
+  }
+};
+
 template <class Table>
 class Engine final : public IEngine {
   static_assert(PwStoragePolicy<Table>,
                 "Engine requires a pw storage policy (see pw_layout.hpp)");
 
  public:
-  Engine(const dp::Problem& problem, const SublinearOptions& options,
-         std::size_t band, pram::Machine& machine)
-      : problem_(problem),
+  Engine(std::shared_ptr<const EngineShape<Table>> shape,
+         const dp::Problem& problem, const SublinearOptions& options,
+         pram::Machine& machine)
+      : shape_(std::move(shape)),
+        problem_(&problem),
         options_(options),
         machine_(machine),
-        n_(problem.size()),
+        n_(shape_->n),
         delta_(options.delta_buffering),
-        pw_(n_, band),
-        w_(n_ + 1, n_ + 1, kInfinity) {
-    for (std::size_t i = 0; i < n_; ++i) {
-      w_(i, i + 1) = problem.init(i);
-    }
+        pw_(shape_->layout),
+        w_(n_ + 1, n_ + 1, kInfinity),
+        pairs_(shape_->pairs),
+        pairs_offset_by_length_(shape_->pairs_offset_by_length),
+        entry_slots_(shape_->entry_slots),
+        root_blocks_(shape_->root_blocks),
+        total_split_sites_(shape_->total_split_sites) {
+    SUBDP_ASSERT(problem.size() == n_);
     if (!delta_) {
-      pw_next_.emplace(n_, band);
-      w_next_ = w_;
-    }
-    build_pair_lists();
-
-    const auto& quads = pw_.entries();
-    if (delta_) {
-      SUBDP_REQUIRE(pw_.cell_count() <= UINT32_MAX,
-                    "pw table too large for 32-bit write-log slots");
-      entry_slots_.reserve(quads.size());
-      for (const Quad& t : quads) {
-        entry_slots_.push_back(
-            static_cast<std::uint32_t>(pw_.entry_slot(t.i, t.j, t.p, t.q)));
-      }
-      pw_log_.resize(quads.size());
+      pw_next_.emplace(shape_->layout);
+    } else {
+      pw_log_.resize(pw_.entries().size());
       w_log_.resize(pairs_.size());
-      // Per-root runs of the entry list (both layouts emit the quads of a
-      // root contiguously) — the unit of the root-major square sweep.
-      for (std::size_t idx = 0; idx < quads.size(); ++idx) {
-        const Quad& t = quads[idx];
-        if (root_blocks_.empty() ||
-            pairs_[root_blocks_.back().pair].i != t.i ||
-            pairs_[root_blocks_.back().pair].j != t.j) {
-          if (!root_blocks_.empty()) {
-            root_blocks_.back().end = static_cast<std::uint32_t>(idx);
-          }
-          root_blocks_.push_back(
-              RootBlock{static_cast<std::uint32_t>(idx), 0,
-                        static_cast<std::uint32_t>(pair_index(t.i, t.j))});
-        }
-      }
-      if (!root_blocks_.empty()) {
-        root_blocks_.back().end = static_cast<std::uint32_t>(quads.size());
-      }
     }
-
     frontier_enabled_ = delta_ && options_.frontier_sweeps &&
                         !options_.windowed_pebble && !machine_.instrumented();
     if (frontier_enabled_) {
+      // Value-initialised (zeroed) atomic flag arrays.
       root_dirty_ =
           std::make_unique<std::atomic<std::uint8_t>[]>(pairs_.size());
       pw_root_moved_ =
@@ -194,14 +270,21 @@ class Engine final : public IEngine {
       root_contained_.assign(grid, 0);
       mark_left_pre_.assign(grid, 0);
       mark_right_pre_.assign(grid, 0);
-      // The initial frontier: every base entry w(i, i+1) was just set.
       frontier_.reserve(n_);
-      for (std::size_t i = 0; i < n_; ++i) {
-        frontier_.push_back(Pair{static_cast<std::uint32_t>(i),
-                                 static_cast<std::uint32_t>(i + 1)});
-      }
-      for (const Pair pr : pairs_) total_split_sites_ += pr.j - pr.i - 1;
     }
+    bind_instance(problem, /*fresh_tables=*/true);
+  }
+
+  /// Rebinds the engine to a new same-shape instance: fills both tables
+  /// back to their initial state in place and clears every per-instance
+  /// counter and frontier mark. Geometry (layout, pair lists, entry
+  /// slots, root blocks) is shape-owned and untouched.
+  void reset(const dp::Problem& problem) override {
+    SUBDP_REQUIRE(problem.size() == n_,
+                  "engine reset requires an instance of the plan's size");
+    pw_.reset();
+    w_.fill(kInfinity);
+    bind_instance(problem, /*fresh_tables=*/false);
   }
 
   IterationOutcome iterate() override {
@@ -255,14 +338,6 @@ class Engine final : public IEngine {
     Cost value = 0;
   };
 
-  /// One root's contiguous run `[begin, end)` of the square-entry list,
-  /// plus the root's index into `pairs_` (root-major sweep unit).
-  struct RootBlock {
-    std::uint32_t begin = 0;
-    std::uint32_t end = 0;
-    std::uint32_t pair = 0;
-  };
-
   /// The HLV square window of quad `t`: admissible intermediates
   /// `r in [r_lo, p)` and `s in (q, s_hi]`. Shared by the candidate scan
   /// and the frontier skip test, which must agree on the operand set.
@@ -277,21 +352,32 @@ class Engine final : public IEngine {
             q + maxs < j ? q + maxs : j};
   }
 
-  void build_pair_lists() {
-    // Pairs with length >= 2, grouped by length ascending, plus the
-    // prefix offsets needed to address a window of lengths.
-    pairs_offset_by_length_.assign(n_ + 2, 0);
-    for (std::size_t len = 2; len <= n_; ++len) {
-      pairs_offset_by_length_[len] = pairs_.size();
-      for (std::size_t i = 0; i + len <= n_; ++i) {
-        pairs_.push_back(Pair{static_cast<std::uint32_t>(i),
-                              static_cast<std::uint32_t>(i + len)});
+  /// Per-instance (re)initialisation shared by the constructor and
+  /// `reset`: base-row costs, iteration counter, and frontier marks.
+  /// `fresh_tables` skips the flag clears that a fresh allocation has
+  /// already zero-initialised.
+  void bind_instance(const dp::Problem& problem, bool fresh_tables) {
+    problem_ = &problem;
+    iteration_ = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      w_(i, i + 1) = problem.init(i);
+    }
+    if (!delta_) w_next_ = w_;
+    if (frontier_enabled_) {
+      if (!fresh_tables) {
+        for (std::size_t k = 0; k < pairs_.size(); ++k) {
+          root_dirty_[k].store(0, std::memory_order_relaxed);
+          pw_root_moved_[k].store(0, std::memory_order_relaxed);
+        }
+      }
+      square_frontier_ready_ = false;
+      // The initial frontier: every base entry w(i, i+1) was just set.
+      frontier_.clear();
+      for (std::size_t i = 0; i < n_; ++i) {
+        frontier_.push_back(Pair{static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(i + 1)});
       }
     }
-    pairs_offset_by_length_[n_ + 1] = pairs_.size();
-    // Lengths below 2 alias the first real group.
-    pairs_offset_by_length_[0] = 0;
-    pairs_offset_by_length_[1] = 0;
   }
 
   /// Index of pair `(i,j)` in `pairs_` (groups are length-major, then `i`).
@@ -333,7 +419,7 @@ class Engine final : public IEngine {
     // (see pw_banded.hpp).
     for (std::size_t k = i + 1; k <= j - 1; ++k) {
       if constexpr (Instr) ops += 2;
-      const Cost fv = problem_.f(i, k, j);
+      const Cost fv = problem_->f(i, k, j);
       const Cost w_right = w_(k, j);
       if (is_finite(w_right)) {
         const Cost cand = sat_add(fv, w_right);
@@ -635,7 +721,7 @@ class Engine final : public IEngine {
             const Cost wv = w_(a, b);  // finite: it just moved
             if ((idx & 1) == 0) {
               for (std::size_t i = a; i-- > 0;) {
-                const Cost cand = sat_add(problem_.f(i, a, b), wv);
+                const Cost cand = sat_add(problem_->f(i, a, b), wv);
                 if (cand < pw_.get(i, b, i, a)) {
                   pw_.set(i, b, i, a, cand);
                   mark_root_dirty(pair_index(i, b));
@@ -644,7 +730,7 @@ class Engine final : public IEngine {
               }
             } else {
               for (std::size_t j = b + 1; j <= n_; ++j) {
-                const Cost cand = sat_add(problem_.f(a, b, j), wv);
+                const Cost cand = sat_add(problem_->f(a, b, j), wv);
                 if (cand < pw_.get(a, j, b, j)) {
                   pw_.set(a, j, b, j, cand);
                   mark_root_dirty(pair_index(a, j));
@@ -867,7 +953,8 @@ class Engine final : public IEngine {
     return logged;
   }
 
-  const dp::Problem& problem_;
+  std::shared_ptr<const EngineShape<Table>> shape_;
+  const dp::Problem* problem_;
   SublinearOptions options_;
   pram::Machine& machine_;
   std::size_t n_;
@@ -876,12 +963,15 @@ class Engine final : public IEngine {
   std::optional<Table> pw_next_;    ///< Reference copy-based mode only.
   support::Grid2D<Cost> w_;
   support::Grid2D<Cost> w_next_;    ///< Reference copy-based mode only.
-  std::vector<Pair> pairs_;
-  std::vector<std::size_t> pairs_offset_by_length_;
+
+  // Shape-owned geometry — immutable aliases into `*shape_`.
+  const std::vector<Pair>& pairs_;
+  const std::vector<std::size_t>& pairs_offset_by_length_;
+  const std::vector<std::uint32_t>& entry_slots_;  ///< Slot per entry.
+  const std::vector<RootBlock>& root_blocks_;      ///< Per-root runs.
+  std::uint64_t total_split_sites_ = 0;
 
   // Delta-buffered stepping state (delta_ == true).
-  std::vector<std::uint32_t> entry_slots_;  ///< Storage slot per square entry.
-  std::vector<RootBlock> root_blocks_;      ///< Per-root entry runs.
   std::vector<Delta> pw_log_;
   std::vector<Delta> w_log_;
   std::atomic<std::size_t> pw_log_count_{0};
@@ -900,7 +990,6 @@ class Engine final : public IEngine {
   std::vector<std::uint32_t> root_contained_;
   std::vector<std::uint32_t> mark_left_pre_;
   std::vector<std::uint32_t> mark_right_pre_;
-  std::uint64_t total_split_sites_ = 0;
 
   std::size_t iteration_ = 0;
 };

@@ -4,7 +4,7 @@
 
 namespace subdp::core {
 
-BandedPwTable::BandedPwTable(std::size_t n, std::size_t band)
+BandedPwLayout::BandedPwLayout(std::size_t n, std::size_t band)
     : n_(n), band_(band) {
   SUBDP_REQUIRE(n >= 1, "need at least one object");
   SUBDP_REQUIRE(band >= 1, "band width must be at least 1");
@@ -17,7 +17,7 @@ BandedPwTable::BandedPwTable(std::size_t n, std::size_t band)
                              checked_size_mul(n - len + 1, block_size(len)));
   }
   length_base_[n + 1] = total;
-  cells_.assign(total, kInfinity);
+  band_cell_count_ = total;
 
   // Child-gap side tables: tetrahedral addressing over the triples
   // (i, k, j) with i < k < j <= n — C(n+1, 3) cells per family instead of
@@ -28,8 +28,7 @@ BandedPwTable::BandedPwTable(std::size_t n, std::size_t band)
     tetra_base_[i] = tetra_total;
     tetra_total += (n - i) * (n - i - 1) / 2;
   }
-  left_child_cells_.assign(tetra_total, kInfinity);
-  right_child_cells_.assign(tetra_total, kInfinity);
+  child_cell_count_ = tetra_total;
   for (std::size_t len = 2; len <= n; ++len) {
     if (len - 1 > band_) {
       // Out-of-band slacks s in (B, len-1]: two child gaps per slack.
@@ -53,8 +52,16 @@ BandedPwTable::BandedPwTable(std::size_t n, std::size_t band)
       }
     }
   }
-  SUBDP_ASSERT(entries_.size() == cells_.size());
+  SUBDP_ASSERT(entries_.size() == band_cell_count_);
 }
+
+BandedPwTable::BandedPwTable(std::shared_ptr<const BandedPwLayout> layout)
+    : layout_(std::move(layout)),
+      n_(layout_->n()),
+      band_(layout_->band()),
+      cells_(layout_->band_cell_count(), kInfinity),
+      left_child_cells_(layout_->child_cell_count(), kInfinity),
+      right_child_cells_(layout_->child_cell_count(), kInfinity) {}
 
 void BandedPwTable::reset() {
   cells_.assign(cells_.size(), kInfinity);

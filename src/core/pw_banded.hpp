@@ -33,8 +33,16 @@
 /// block holds slacks `s = 1 .. min(B, L-1)` contiguously, each with its
 /// `s + 1` gap offsets `o = p - i ∈ [0, s]`; all offsets have closed
 /// forms, so addressing is O(1).
+///
+/// Plan/instance split: everything above is a function of `(n, B)` only,
+/// so it lives in an immutable `BandedPwLayout` — offset tables, entry
+/// list, cell counts. A `BandedPwTable` binds a (shared) layout to its own
+/// mutable cell vectors; `SolvePlan` builds the layout once per shape and
+/// every `SolveSession` table of that shape shares it, so per-instance
+/// setup is a fill, not a rebuild.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/pw_layout.hpp"
@@ -43,6 +51,93 @@
 
 namespace subdp::core {
 
+/// Immutable banded-layout geometry for one `(n, band)` shape: offset
+/// tables, the square-entry list, and cell counts. Instances share one
+/// layout via `shared_ptr`; only cell values are per-instance.
+class BandedPwLayout {
+ public:
+  BandedPwLayout(std::size_t n, std::size_t band);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t band() const noexcept { return band_; }
+
+  /// Banded (square-target) cells; equals `entries().size()`.
+  [[nodiscard]] std::size_t band_cell_count() const noexcept {
+    return band_cell_count_;
+  }
+
+  /// Cells per child-gap side store (`C(n+1,3)` each).
+  [[nodiscard]] std::size_t child_cell_count() const noexcept {
+    return child_cell_count_;
+  }
+
+  /// Stored child gaps whose slack exceeds the band.
+  [[nodiscard]] std::size_t out_of_band_child_count() const noexcept {
+    return out_of_band_child_count_;
+  }
+
+  /// Total cells a table of this shape allocates (all three stores).
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return band_cell_count_ + 2 * child_cell_count_;
+  }
+
+  /// Storage slot of an in-band square-step entry (index into a table's
+  /// `raw_cells`); the layout-level form of `BandedPwTable::entry_slot`,
+  /// usable before any table exists (engine-shape precomputation).
+  [[nodiscard]] std::size_t entry_slot(std::size_t i, std::size_t j,
+                                       std::size_t p, std::size_t q) const {
+    return flat(i, j, p, (j - i) - (q - p));
+  }
+
+  /// Square-step targets (in-band quadruples), grouped by root length
+  /// ascending with the quads of one root contiguous.
+  [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Cells for one `(L, i)` block: sum over s of (s+1) slots.
+  [[nodiscard]] std::size_t block_size(std::size_t len) const {
+    const std::size_t m = len - 1 < band_ ? len - 1 : band_;
+    return m * (m + 3) / 2;
+  }
+
+  [[nodiscard]] std::size_t flat(std::size_t i, std::size_t j, std::size_t p,
+                                 std::size_t s) const {
+    const std::size_t len = j - i;
+    SUBDP_ASSERT(len >= 2 && s >= 1 && s <= band_ && s <= len - 1);
+    SUBDP_ASSERT(p >= i && p - i <= s);
+    // Offset of slack s inside a block: sum_{s'=1..s-1} (s'+1).
+    const std::size_t slack_offset = (s - 1) * (s + 2) / 2;
+    return length_base_[len] + (i * block_size(len)) + slack_offset +
+           (p - i);
+  }
+
+  /// Child-gap cell for root `(i,j)` and inner gap boundary `k`; gap
+  /// `(i,k)` lives in the left family, gap `(k,j)` in the right (for long
+  /// roots both can be out of band at the same `k`, so the families must
+  /// not share storage). Both families are keyed by the ordered triple
+  /// `(i, k, j)`, indexed tetrahedrally: triples sort by `i`, then `k`,
+  /// then `j`, giving `C(n+1,3)` slots.
+  [[nodiscard]] std::size_t child_flat(std::size_t i, std::size_t j,
+                                       std::size_t k) const {
+    SUBDP_ASSERT(i < k && k < j && j <= n_);
+    // Within the `i` block, boundary `k` owns `n - k` slots (one per
+    // `j > k`); offset of `k`'s row: sum_{b=i+1..k-1} (n - b).
+    const std::size_t row = (k - i - 1) * (2 * n_ - i - k) / 2;
+    return tetra_base_[i] + row + (j - k - 1);
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t band_;
+  std::size_t band_cell_count_ = 0;
+  std::size_t child_cell_count_ = 0;
+  std::size_t out_of_band_child_count_ = 0;
+  std::vector<std::size_t> length_base_;  ///< Cumulative block offsets.
+  std::vector<std::size_t> tetra_base_;   ///< Child-store offsets per `i`.
+  std::vector<Quad> entries_;
+};
+
 /// Banded `pw'` storage; in-band entries plus child-gap entries of any
 /// slack. Reads of anything else yield `kInfinity`.
 class BandedPwTable {
@@ -50,8 +145,26 @@ class BandedPwTable {
   /// Storage-policy identifier (diagnostics, bench labels).
   static constexpr const char* kLayoutName = "banded";
 
-  /// `band` = maximal stored slack `B >= 1` for general gaps.
-  BandedPwTable(std::size_t n, std::size_t band);
+  /// The immutable geometry this table's cells are addressed by.
+  using Layout = BandedPwLayout;
+
+  /// Builds the shared layout for one `(n, band)` shape.
+  [[nodiscard]] static std::shared_ptr<const BandedPwLayout> make_layout(
+      std::size_t n, std::size_t band) {
+    return std::make_shared<const BandedPwLayout>(n, band);
+  }
+
+  /// `band` = maximal stored slack `B >= 1` for general gaps. Builds a
+  /// private layout (one-shot use; plans share layouts instead).
+  BandedPwTable(std::size_t n, std::size_t band)
+      : BandedPwTable(make_layout(n, band)) {}
+
+  /// Binds a shared layout; allocates only this instance's cells.
+  explicit BandedPwTable(std::shared_ptr<const BandedPwLayout> layout);
+
+  [[nodiscard]] const BandedPwLayout& layout() const noexcept {
+    return *layout_;
+  }
 
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
 
@@ -66,9 +179,9 @@ class BandedPwTable {
     SUBDP_ASSERT(i <= p && p < q && q <= j && j <= n_);
     if (p == i && q == j) return 0;
     const std::size_t s = (j - i) - (q - p);
-    if (s <= band_) return cells_[flat(i, j, p, s)];
-    if (p == i) return left_child_cells_[child_flat(i, j, q)];
-    if (q == j) return right_child_cells_[child_flat(i, j, p)];
+    if (s <= band_) return cells_[layout_->flat(i, j, p, s)];
+    if (p == i) return left_child_cells_[layout_->child_flat(i, j, q)];
+    if (q == j) return right_child_cells_[layout_->child_flat(i, j, p)];
     return kInfinity;
   }
 
@@ -78,11 +191,11 @@ class BandedPwTable {
     SUBDP_ASSERT(stores(i, j, p, q));
     const std::size_t s = (j - i) - (q - p);
     if (s <= band_) {
-      cells_[flat(i, j, p, s)] = value;
+      cells_[layout_->flat(i, j, p, s)] = value;
     } else if (p == i) {
-      left_child_cells_[child_flat(i, j, q)] = value;
+      left_child_cells_[layout_->child_flat(i, j, q)] = value;
     } else {
-      right_child_cells_[child_flat(i, j, p)] = value;
+      right_child_cells_[layout_->child_flat(i, j, p)] = value;
     }
   }
 
@@ -99,11 +212,15 @@ class BandedPwTable {
   [[nodiscard]] std::uint64_t address(std::size_t i, std::size_t j,
                                       std::size_t p, std::size_t q) const {
     const std::size_t s = (j - i) - (q - p);
-    if (s <= band_) return static_cast<std::uint64_t>(flat(i, j, p, s));
-    if (p == i) {
-      return kLeftChildTag | static_cast<std::uint64_t>(child_flat(i, j, q));
+    if (s <= band_) {
+      return static_cast<std::uint64_t>(layout_->flat(i, j, p, s));
     }
-    return kRightChildTag | static_cast<std::uint64_t>(child_flat(i, j, p));
+    if (p == i) {
+      return kLeftChildTag |
+             static_cast<std::uint64_t>(layout_->child_flat(i, j, q));
+    }
+    return kRightChildTag |
+           static_cast<std::uint64_t>(layout_->child_flat(i, j, p));
   }
 
   /// Storage slot of a stored in-band (square-step) entry; an index into
@@ -114,7 +231,7 @@ class BandedPwTable {
                                        std::size_t p, std::size_t q) const {
     const std::size_t s = (j - i) - (q - p);
     SUBDP_ASSERT(s <= band_);
-    return flat(i, j, p, s);
+    return layout_->flat(i, j, p, s);
   }
 
   /// Unchecked slot of an entry known to be stored *in band* (slack in
@@ -122,7 +239,7 @@ class BandedPwTable {
   /// `get`; the square kernel's operands are provably in this regime.
   [[nodiscard]] std::size_t in_band_slot(std::size_t i, std::size_t j,
                                          std::size_t p, std::size_t q) const {
-    return flat(i, j, p, (j - i) - (q - p));
+    return layout_->flat(i, j, p, (j - i) - (q - p));
   }
 
   /// Incremental reader over `pw'(i,j,r,q)` for ascending `r` starting at
@@ -132,7 +249,7 @@ class BandedPwTable {
                                                std::size_t r0,
                                                std::size_t q) const {
     const std::size_t s = (r0 - i) + (j - q);
-    return {cells_.data() + flat(i, j, r0, s),
+    return {cells_.data() + layout_->flat(i, j, r0, s),
             static_cast<std::ptrdiff_t>(s + 2), 1};
   }
 
@@ -143,7 +260,7 @@ class BandedPwTable {
                                                std::size_t p,
                                                std::size_t s0) const {
     const std::size_t s = (j - i) - (s0 - p);
-    return {cells_.data() + flat(i, j, p, s),
+    return {cells_.data() + layout_->flat(i, j, p, s),
             -static_cast<std::ptrdiff_t>(s), 1};
   }
 
@@ -161,7 +278,7 @@ class BandedPwTable {
 
   /// Meaningful stored entries: banded cells plus out-of-band child gaps.
   [[nodiscard]] std::size_t entry_count() const noexcept {
-    return entries_.size() + out_of_band_child_count_;
+    return entries().size() + layout_->out_of_band_child_count();
   }
 
   /// Square-step targets (in-band quadruples), grouped by root length
@@ -169,7 +286,7 @@ class BandedPwTable {
   /// value `f + w(child)` is exact once the children have converged, and
   /// keeping them out preserves the O(n^3 * B) square work bound.
   [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
-    return entries_;
+    return layout_->entries();
   }
 
   /// Enumerates the stored gaps `(p,q)` of root `(i,j)` (pebble step):
@@ -190,7 +307,7 @@ class BandedPwTable {
     }
   }
 
-  /// Resets every stored entry to `kInfinity`.
+  /// Resets every stored entry to `kInfinity` (in place, no reallocation).
   void reset();
 
   /// Bulk copy from a same-shape table (square-step double buffering).
@@ -200,47 +317,12 @@ class BandedPwTable {
   static constexpr std::uint64_t kLeftChildTag = std::uint64_t{1} << 60;
   static constexpr std::uint64_t kRightChildTag = std::uint64_t{1} << 61;
 
-  /// Cells for one `(L, i)` block: sum over s of (s+1) slots.
-  [[nodiscard]] std::size_t block_size(std::size_t len) const {
-    const std::size_t m = len - 1 < band_ ? len - 1 : band_;
-    return m * (m + 3) / 2;
-  }
-
-  [[nodiscard]] std::size_t flat(std::size_t i, std::size_t j, std::size_t p,
-                                 std::size_t s) const {
-    const std::size_t len = j - i;
-    SUBDP_ASSERT(len >= 2 && s >= 1 && s <= band_ && s <= len - 1);
-    SUBDP_ASSERT(p >= i && p - i <= s);
-    // Offset of slack s inside a block: sum_{s'=1..s-1} (s'+1).
-    const std::size_t slack_offset = (s - 1) * (s + 2) / 2;
-    return length_base_[len] + (i * block_size(len)) + slack_offset +
-           (p - i);
-  }
-
-  /// Child-gap cell for root `(i,j)` and inner gap boundary `k`; gap
-  /// `(i,k)` lives in `left_child_cells_`, gap `(k,j)` in
-  /// `right_child_cells_` (for long roots both can be out of band at the
-  /// same `k`, so the families must not share storage). Both families are
-  /// keyed by the ordered triple `(i, k, j)`, indexed tetrahedrally:
-  /// triples sort by `i`, then `k`, then `j`, giving `C(n+1,3)` slots.
-  [[nodiscard]] std::size_t child_flat(std::size_t i, std::size_t j,
-                                       std::size_t k) const {
-    SUBDP_ASSERT(i < k && k < j && j <= n_);
-    // Within the `i` block, boundary `k` owns `n - k` slots (one per
-    // `j > k`); offset of `k`'s row: sum_{b=i+1..k-1} (n - b).
-    const std::size_t row = (k - i - 1) * (2 * n_ - i - k) / 2;
-    return tetra_base_[i] + row + (j - k - 1);
-  }
-
-  std::size_t n_;
-  std::size_t band_;
-  std::size_t out_of_band_child_count_ = 0;
-  std::vector<std::size_t> length_base_;  ///< Cumulative block offsets.
-  std::vector<std::size_t> tetra_base_;   ///< Child-store offsets per `i`.
+  std::shared_ptr<const BandedPwLayout> layout_;
+  std::size_t n_;     ///< Cached from the layout (hot-path locality).
+  std::size_t band_;  ///< Cached from the layout (hot-path locality).
   std::vector<Cost> cells_;
   std::vector<Cost> left_child_cells_;
   std::vector<Cost> right_child_cells_;
-  std::vector<Quad> entries_;
 };
 
 static_assert(PwStoragePolicy<BandedPwTable>);

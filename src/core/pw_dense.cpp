@@ -4,9 +4,9 @@
 
 namespace subdp::core {
 
-DensePwTable::DensePwTable(std::size_t n, std::size_t /*band*/) : n_(n) {
+DensePwLayout::DensePwLayout(std::size_t n) : n_(n) {
   SUBDP_REQUIRE(n >= 1, "need at least one object");
-  SUBDP_REQUIRE(n <= kMaxDenseN,
+  SUBDP_REQUIRE(n <= DensePwTable::kMaxDenseN,
                 "dense pw table would exceed the memory envelope; "
                 "use the banded variant");
 
@@ -20,7 +20,7 @@ DensePwTable::DensePwTable(std::size_t n, std::size_t /*band*/) : n_(n) {
     roots += n - len + 1;
   }
   length_base_[n + 1] = total;
-  cells_.assign(total, kInfinity);
+  cell_count_ = total;
 
   // Group by root length ascending so windowed sweeps see short roots
   // first; within a root, gaps in (p,q) lexicographic order (which is also
@@ -41,8 +41,13 @@ DensePwTable::DensePwTable(std::size_t n, std::size_t /*band*/) : n_(n) {
       }
     }
   }
-  SUBDP_ASSERT(entries_.size() + roots == cells_.size());
+  SUBDP_ASSERT(entries_.size() + roots == cell_count_);
 }
+
+DensePwTable::DensePwTable(std::shared_ptr<const DensePwLayout> layout)
+    : layout_(std::move(layout)),
+      n_(layout_->n()),
+      cells_(layout_->cell_count(), kInfinity) {}
 
 void DensePwTable::reset() {
   cells_.assign(cells_.size(), kInfinity);

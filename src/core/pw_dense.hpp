@@ -29,8 +29,14 @@
 /// asserted in debug builds, undefined in release. Sizing arithmetic is
 /// overflow-checked (`checked_size_mul`/`checked_size_add`) rather than
 /// trusting the cap to keep products representable.
+///
+/// Plan/instance split: offsets and the entry list depend only on `n`, so
+/// they live in an immutable `DensePwLayout` shared between every table of
+/// the same shape (see `SolvePlan`); a `DensePwTable` owns only its
+/// mutable cell vector.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/pw_layout.hpp"
@@ -39,135 +45,33 @@
 
 namespace subdp::core {
 
-/// Dense `pw'` storage for instances of up to `kMaxDenseN` objects.
-class DensePwTable {
+/// Immutable dense-layout geometry for one `n`: the per-length cumulative
+/// bases and the square-entry list. Shared across same-shape instances.
+class DensePwLayout {
  public:
-  /// Storage-policy identifier (diagnostics, bench labels).
-  static constexpr const char* kLayoutName = "dense-entries";
-
-  /// Largest supported n. The entries-indexed layout needs ~n^4/24 cells,
-  /// so 192 keeps 2 buffers x 8 bytes within ~1 GB (the seed's cube hit
-  /// that wall at 64); the constructor additionally overflow-checks the
-  /// cell arithmetic so the cap is a memory policy, not a correctness
-  /// guard.
-  static constexpr std::size_t kMaxDenseN = 192;
-
-  /// `band` is accepted for interface parity with `BandedPwTable` and
-  /// ignored (a dense table stores every slack).
-  explicit DensePwTable(std::size_t n, std::size_t band = 0);
+  explicit DensePwLayout(std::size_t n);
 
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
 
-  /// Effective slack bound: dense tables store all slacks up to n.
-  [[nodiscard]] std::size_t max_slack() const noexcept { return n_; }
-
-  /// Reads `pw'(i,j,p,q)` (requires `i <= p < q <= j <= n`); identity
-  /// gaps yield 0, anything unwritten yields `kInfinity`.
-  [[nodiscard]] Cost get(std::size_t i, std::size_t j, std::size_t p,
-                         std::size_t q) const {
-    SUBDP_ASSERT(i <= p && p < q && q <= j && j <= n_);
-    if (p == i && q == j) return 0;
-    return cells_[flat(i, j, p, q)];
-  }
-
-  /// Writes a stored (non-identity) entry.
-  void set(std::size_t i, std::size_t j, std::size_t p, std::size_t q,
-           Cost value) {
-    SUBDP_ASSERT(i <= p && p < q && q <= j && j <= n_);
-    SUBDP_ASSERT(!(p == i && q == j));
-    cells_[flat(i, j, p, q)] = value;
-  }
-
-  /// True iff the entry is materialised (always, for dense tables).
-  [[nodiscard]] bool stores(std::size_t i, std::size_t j, std::size_t p,
-                            std::size_t q) const {
-    return i <= p && p < q && q <= j && !(p == i && q == j);
-  }
-
-  /// Linearised address for CREW-conformance reporting.
-  [[nodiscard]] std::uint64_t address(std::size_t i, std::size_t j,
-                                      std::size_t p, std::size_t q) const {
-    return static_cast<std::uint64_t>(flat(i, j, p, q));
-  }
-
-  /// Storage slot of a stored square-step entry (index into `raw_cells`).
-  /// Lets the engine apply a write log without re-deriving the layout.
-  [[nodiscard]] std::size_t entry_slot(std::size_t i, std::size_t j,
-                                       std::size_t p, std::size_t q) const {
-    SUBDP_ASSERT(stores(i, j, p, q));
-    return flat(i, j, p, q);
-  }
-
-  /// Unchecked slot of a stored entry (dense stores everything, so every
-  /// non-identity quadruple is "in band"). No branches.
-  [[nodiscard]] std::size_t in_band_slot(std::size_t i, std::size_t j,
-                                         std::size_t p, std::size_t q) const {
-    SUBDP_ASSERT(stores(i, j, p, q));
-    return flat(i, j, p, q);
-  }
-
-  /// Incremental reader over `pw'(i,j,r,q)` for ascending `r` starting at
-  /// `r0` (the HLV r-window's first operand): the triangle offset grows by
-  /// `len - a - 1` per step, shrinking by one each time.
-  [[nodiscard]] PwWindowCursor r_window_cursor(std::size_t i, std::size_t j,
-                                               std::size_t r0,
-                                               std::size_t q) const {
-    const std::size_t len = j - i;
-    const std::size_t a = r0 - i;
-    return {cells_.data() + flat(i, j, r0, q),
-            static_cast<std::ptrdiff_t>(len - a - 1), -1};
-  }
-
-  /// Incremental reader over `pw'(i,j,p,s)` for ascending `s` starting at
-  /// `s0` (the HLV s-window's first operand): contiguous cells.
-  [[nodiscard]] PwWindowCursor s_window_cursor(std::size_t i, std::size_t j,
-                                               std::size_t p,
-                                               std::size_t s0) const {
-    return {cells_.data() + flat(i, j, p, s0), 1, 0};
-  }
-
-  /// Direct cell storage (write-log apply path, cursor reads).
-  [[nodiscard]] Cost* raw_cells() noexcept { return cells_.data(); }
-  [[nodiscard]] const Cost* raw_cells() const noexcept {
-    return cells_.data();
-  }
-
-  /// Number of allocated cells (the memory-footprint metric for E7);
-  /// exceeds `entry_count()` only by the one identity slot per root.
+  /// Total allocated cells (identity slots included).
   [[nodiscard]] std::size_t cell_count() const noexcept {
-    return cells_.size();
-  }
-
-  /// Number of *meaningful* (structurally valid, stored) entries.
-  [[nodiscard]] std::size_t entry_count() const noexcept {
-    return entries_.size();
+    return cell_count_;
   }
 
   /// All stored quadruples, grouped by root-interval length ascending and
-  /// contiguous per root (the order the square step iterates in; the
-  /// engine's root-major sweep keys its block table off this grouping).
+  /// contiguous per root.
   [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
     return entries_;
   }
 
-  /// Enumerates the stored gaps `(p,q)` of root `(i,j)` (pebble step).
-  template <class Fn>
-  void for_each_gap(std::size_t i, std::size_t j, Fn&& fn) const {
-    for (std::size_t p = i; p < j; ++p) {
-      for (std::size_t q = p + 1; q <= j; ++q) {
-        if (p == i && q == j) continue;
-        fn(p, q);
-      }
-    }
+  /// Storage slot of a stored square-step entry (index into a table's
+  /// `raw_cells`); the layout-level form of `DensePwTable::entry_slot`,
+  /// usable before any table exists (engine-shape precomputation).
+  [[nodiscard]] std::size_t entry_slot(std::size_t i, std::size_t j,
+                                       std::size_t p, std::size_t q) const {
+    return flat(i, j, p, q);
   }
 
-  /// Resets every stored entry to `kInfinity`.
-  void reset();
-
-  /// Bulk copy from a same-shape table (square-step double buffering).
-  void copy_from(const DensePwTable& other);
-
- private:
   /// Cells of one root of length `len`: the gap triangle `0 <= a < b <=
   /// len`, identity slot included.
   [[nodiscard]] static constexpr std::size_t cells_per_root(
@@ -184,10 +88,164 @@ class DensePwTable {
            a * (2 * len - a + 1) / 2 + (b - a - 1);
   }
 
+ private:
   std::size_t n_;
+  std::size_t cell_count_ = 0;
   std::vector<std::size_t> length_base_;  ///< Cumulative block offsets.
-  std::vector<Cost> cells_;
   std::vector<Quad> entries_;
+};
+
+/// Dense `pw'` storage for instances of up to `kMaxDenseN` objects.
+class DensePwTable {
+ public:
+  /// Storage-policy identifier (diagnostics, bench labels).
+  static constexpr const char* kLayoutName = "dense-entries";
+
+  /// The immutable geometry this table's cells are addressed by.
+  using Layout = DensePwLayout;
+
+  /// Largest supported n. The entries-indexed layout needs ~n^4/24 cells,
+  /// so 192 keeps 2 buffers x 8 bytes within ~1 GB (the seed's cube hit
+  /// that wall at 64); the constructor additionally overflow-checks the
+  /// cell arithmetic so the cap is a memory policy, not a correctness
+  /// guard.
+  static constexpr std::size_t kMaxDenseN = 192;
+
+  /// Builds the shared layout for one `n` (the `band` parameter exists
+  /// for interface parity with `BandedPwTable` and is ignored).
+  [[nodiscard]] static std::shared_ptr<const DensePwLayout> make_layout(
+      std::size_t n, std::size_t /*band*/ = 0) {
+    return std::make_shared<const DensePwLayout>(n);
+  }
+
+  /// `band` is accepted for interface parity with `BandedPwTable` and
+  /// ignored (a dense table stores every slack). Builds a private layout;
+  /// plans share layouts instead.
+  explicit DensePwTable(std::size_t n, std::size_t band = 0)
+      : DensePwTable(make_layout(n, band)) {}
+
+  /// Binds a shared layout; allocates only this instance's cells.
+  explicit DensePwTable(std::shared_ptr<const DensePwLayout> layout);
+
+  [[nodiscard]] const DensePwLayout& layout() const noexcept {
+    return *layout_;
+  }
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+
+  /// Effective slack bound: dense tables store all slacks up to n.
+  [[nodiscard]] std::size_t max_slack() const noexcept { return n_; }
+
+  /// Reads `pw'(i,j,p,q)` (requires `i <= p < q <= j <= n`); identity
+  /// gaps yield 0, anything unwritten yields `kInfinity`.
+  [[nodiscard]] Cost get(std::size_t i, std::size_t j, std::size_t p,
+                         std::size_t q) const {
+    SUBDP_ASSERT(i <= p && p < q && q <= j && j <= n_);
+    if (p == i && q == j) return 0;
+    return cells_[layout_->flat(i, j, p, q)];
+  }
+
+  /// Writes a stored (non-identity) entry.
+  void set(std::size_t i, std::size_t j, std::size_t p, std::size_t q,
+           Cost value) {
+    SUBDP_ASSERT(i <= p && p < q && q <= j && j <= n_);
+    SUBDP_ASSERT(!(p == i && q == j));
+    cells_[layout_->flat(i, j, p, q)] = value;
+  }
+
+  /// True iff the entry is materialised (always, for dense tables).
+  [[nodiscard]] bool stores(std::size_t i, std::size_t j, std::size_t p,
+                            std::size_t q) const {
+    return i <= p && p < q && q <= j && !(p == i && q == j);
+  }
+
+  /// Linearised address for CREW-conformance reporting.
+  [[nodiscard]] std::uint64_t address(std::size_t i, std::size_t j,
+                                      std::size_t p, std::size_t q) const {
+    return static_cast<std::uint64_t>(layout_->flat(i, j, p, q));
+  }
+
+  /// Storage slot of a stored square-step entry (index into `raw_cells`).
+  /// Lets the engine apply a write log without re-deriving the layout.
+  [[nodiscard]] std::size_t entry_slot(std::size_t i, std::size_t j,
+                                       std::size_t p, std::size_t q) const {
+    SUBDP_ASSERT(stores(i, j, p, q));
+    return layout_->flat(i, j, p, q);
+  }
+
+  /// Unchecked slot of a stored entry (dense stores everything, so every
+  /// non-identity quadruple is "in band"). No branches.
+  [[nodiscard]] std::size_t in_band_slot(std::size_t i, std::size_t j,
+                                         std::size_t p, std::size_t q) const {
+    SUBDP_ASSERT(stores(i, j, p, q));
+    return layout_->flat(i, j, p, q);
+  }
+
+  /// Incremental reader over `pw'(i,j,r,q)` for ascending `r` starting at
+  /// `r0` (the HLV r-window's first operand): the triangle offset grows by
+  /// `len - a - 1` per step, shrinking by one each time.
+  [[nodiscard]] PwWindowCursor r_window_cursor(std::size_t i, std::size_t j,
+                                               std::size_t r0,
+                                               std::size_t q) const {
+    const std::size_t len = j - i;
+    const std::size_t a = r0 - i;
+    return {cells_.data() + layout_->flat(i, j, r0, q),
+            static_cast<std::ptrdiff_t>(len - a - 1), -1};
+  }
+
+  /// Incremental reader over `pw'(i,j,p,s)` for ascending `s` starting at
+  /// `s0` (the HLV s-window's first operand): contiguous cells.
+  [[nodiscard]] PwWindowCursor s_window_cursor(std::size_t i, std::size_t j,
+                                               std::size_t p,
+                                               std::size_t s0) const {
+    return {cells_.data() + layout_->flat(i, j, p, s0), 1, 0};
+  }
+
+  /// Direct cell storage (write-log apply path, cursor reads).
+  [[nodiscard]] Cost* raw_cells() noexcept { return cells_.data(); }
+  [[nodiscard]] const Cost* raw_cells() const noexcept {
+    return cells_.data();
+  }
+
+  /// Number of allocated cells (the memory-footprint metric for E7);
+  /// exceeds `entry_count()` only by the one identity slot per root.
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+
+  /// Number of *meaningful* (structurally valid, stored) entries.
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entries().size();
+  }
+
+  /// All stored quadruples, grouped by root-interval length ascending and
+  /// contiguous per root (the order the square step iterates in; the
+  /// engine's root-major sweep keys its block table off this grouping).
+  [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
+    return layout_->entries();
+  }
+
+  /// Enumerates the stored gaps `(p,q)` of root `(i,j)` (pebble step).
+  template <class Fn>
+  void for_each_gap(std::size_t i, std::size_t j, Fn&& fn) const {
+    for (std::size_t p = i; p < j; ++p) {
+      for (std::size_t q = p + 1; q <= j; ++q) {
+        if (p == i && q == j) continue;
+        fn(p, q);
+      }
+    }
+  }
+
+  /// Resets every stored entry to `kInfinity` (in place, no reallocation).
+  void reset();
+
+  /// Bulk copy from a same-shape table (square-step double buffering).
+  void copy_from(const DensePwTable& other);
+
+ private:
+  std::shared_ptr<const DensePwLayout> layout_;
+  std::size_t n_;  ///< Cached from the layout (hot-path locality).
+  std::vector<Cost> cells_;
 };
 
 static_assert(PwStoragePolicy<DensePwTable>);

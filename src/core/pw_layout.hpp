@@ -33,6 +33,15 @@
 /// that grouping (a layout that interleaved roots would still be correct,
 /// just unskippable).
 ///
+/// A policy is further split into an immutable *layout* half and a mutable
+/// *cells* half: `T::Layout` owns everything a `(n, band)` shape
+/// determines — offset tables, the entry list, cell counts —
+/// `T::make_layout(n, band)` builds one behind a `shared_ptr`, and
+/// `T(layout)` binds a shared layout to a fresh cell allocation. This is
+/// the seam `SolvePlan` amortises across instances: the plan builds each
+/// layout once, every `SolveSession` table of that shape shares it, and
+/// per-instance setup degenerates to `reset()` (an in-place fill).
+///
 /// The header also provides the overflow-checked size arithmetic the
 /// layout constructors use: table shapes are products of four instance
 /// dimensions, and a silent `std::size_t` wrap would turn "too big" into a
@@ -42,6 +51,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/quad.hpp"
@@ -95,7 +105,13 @@ struct GapSink {
 template <class T>
 concept PwStoragePolicy =
     std::constructible_from<T, std::size_t, std::size_t> &&
+    std::constructible_from<T, std::shared_ptr<const typename T::Layout>> &&
     requires(T t, const T c, std::size_t z, Cost v) {
+      typename T::Layout;
+      { T::make_layout(z, z) } ->
+          std::same_as<std::shared_ptr<const typename T::Layout>>;
+      { c.layout() } noexcept ->
+          std::same_as<const typename T::Layout&>;
       { T::kLayoutName } -> std::convertible_to<const char*>;
       { c.n() } noexcept -> std::same_as<std::size_t>;
       { c.max_slack() } noexcept -> std::same_as<std::size_t>;

@@ -1,0 +1,72 @@
+#include "core/solve_plan.hpp"
+
+#include "core/quad.hpp"
+#include "support/stats.hpp"
+
+namespace subdp::core {
+
+std::shared_ptr<const SolvePlan> SolvePlan::create(
+    std::size_t n, const SublinearOptions& options) {
+  SUBDP_REQUIRE(n >= 1, "need at least one object");
+  SUBDP_REQUIRE(n <= kMaxPackedN,
+                "instance too large: the packed pw-table coordinates "
+                "(core::Quad) support n <= 65535");
+  SUBDP_REQUIRE(options.variant != PwVariant::kDense ||
+                    n <= DensePwTable::kMaxDenseN,
+                "instance too large for the dense (every-slack) layout; "
+                "use the banded variant");
+  SUBDP_REQUIRE(!options.windowed_pebble ||
+                    options.termination == TerminationMode::kFixedBound,
+                "the windowed pebble schedule requires fixed-bound "
+                "termination (per-iteration change is not a stopping "
+                "signal when most pairs are outside the window)");
+
+  auto plan = std::shared_ptr<SolvePlan>(new SolvePlan());
+  plan->n_ = n;
+  plan->options_ = options;
+  plan->bound_ = support::two_ceil_sqrt(n);
+  plan->band_ = options.band_width != 0 ? options.band_width
+                                        : support::two_ceil_sqrt(n);
+  if (plan->band_ > n) plan->band_ = n;
+  if (plan->band_ < 1) plan->band_ = 1;
+
+  if (options.max_iterations != 0) {
+    plan->cap_ = options.max_iterations;
+  } else if (options.square_mode == SquareMode::kRytterFull) {
+    plan->cap_ = 4 * support::ceil_log2(n < 2 ? 2 : n) + 8;
+  } else {
+    plan->cap_ = plan->bound_;
+  }
+
+  if (n >= 2) {
+    if (options.variant == PwVariant::kDense) {
+      plan->dense_shape_ =
+          detail::EngineShape<DensePwTable>::build(n, plan->band_, options);
+    } else {
+      plan->banded_shape_ =
+          detail::EngineShape<BandedPwTable>::build(n, plan->band_, options);
+    }
+  }
+  return plan;
+}
+
+std::size_t SolvePlan::pw_cell_count() const noexcept {
+  if (banded_shape_ != nullptr) return banded_shape_->layout->cell_count();
+  if (dense_shape_ != nullptr) return dense_shape_->layout->cell_count();
+  return 0;
+}
+
+std::unique_ptr<detail::IEngine> SolvePlan::make_engine(
+    const dp::Problem& problem, pram::Machine& machine) const {
+  SUBDP_REQUIRE(problem.size() == n_,
+                "instance size does not match the plan's shape");
+  if (trivial()) return nullptr;
+  if (options_.variant == PwVariant::kDense) {
+    return std::make_unique<detail::Engine<DensePwTable>>(
+        dense_shape_, problem, options_, machine);
+  }
+  return std::make_unique<detail::Engine<BandedPwTable>>(
+      banded_shape_, problem, options_, machine);
+}
+
+}  // namespace subdp::core

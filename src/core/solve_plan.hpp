@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file solve_plan.hpp
+/// The immutable, shareable half of a solve: everything the algorithm
+/// precomputes for a *shape* `(n, SublinearOptions)` before it has seen a
+/// single instance cost.
+///
+/// A `SolvePlan` owns, behind `shared_ptr`s:
+///  * the validated option set (size caps, dense-layout cap, windowed-
+///    pebble/termination compatibility, band clamping) and the derived
+///    scalars — the `2*ceil(sqrt n)` iteration schedule, the effective
+///    band `B`, and the iteration cap;
+///  * the pw storage layout (`BandedPwLayout` / `DensePwLayout`): offset
+///    tables and the root-major square-entry list;
+///  * the engine shape (`detail::EngineShape`): length-major pair lists
+///    and their prefix offsets, the write-log slot of every square entry,
+///    the root-block runs of the root-major sweep, and the frontier
+///    density cutoff.
+///
+/// Plans are immutable and thread-agnostic once built: any number of
+/// `SolveSession`s (each with its own mutable tables, write logs and PRAM
+/// machine) can share one plan concurrently. `BatchSolver` builds one plan
+/// per distinct `n` and runs every same-shape instance through it;
+/// `SublinearSolver` and `core::solve` are thin facades that build (or
+/// reuse) a plan per call site. Building a plan is the expensive step —
+/// O(n^2 B^2) entry-list and slot construction — which is exactly what
+/// prepare-once/solve-many amortises away.
+
+#include <cstddef>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/pw_banded.hpp"
+#include "core/pw_dense.hpp"
+#include "core/solver_types.hpp"
+#include "dp/problem.hpp"
+#include "pram/machine.hpp"
+
+namespace subdp::core {
+
+/// Immutable per-shape solve preparation; see the file comment.
+class SolvePlan {
+ public:
+  /// Validates `options` for instances of `n` objects and precomputes the
+  /// shape-dependent state. Throws `std::invalid_argument` on invalid
+  /// combinations (n out of the packed-coordinate range, dense layout
+  /// above `DensePwTable::kMaxDenseN`, windowed pebble without fixed-bound
+  /// termination).
+  [[nodiscard]] static std::shared_ptr<const SolvePlan> create(
+      std::size_t n, const SublinearOptions& options = {});
+
+  /// Instance size this plan serves; sessions reject anything else.
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+
+  [[nodiscard]] const SublinearOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// The worst-case iteration schedule `2*ceil(sqrt n)`.
+  [[nodiscard]] std::size_t iteration_bound() const noexcept {
+    return bound_;
+  }
+
+  /// Effective band width `B` (clamped to `[1, n]`).
+  [[nodiscard]] std::size_t effective_band() const noexcept { return band_; }
+
+  /// Iterations a `solve` runs at most (the bound, the Rytter log
+  /// schedule, or `options.max_iterations` when set).
+  [[nodiscard]] std::size_t iteration_cap() const noexcept { return cap_; }
+
+  /// True for `n == 1`: no iterations, the answer is `init(0)`.
+  [[nodiscard]] bool trivial() const noexcept { return n_ == 1; }
+
+  /// pw cells a session of this plan allocates (experiment E7 metric).
+  [[nodiscard]] std::size_t pw_cell_count() const noexcept;
+
+  /// Binds the plan's precomputed shape to a concrete instance on the
+  /// given machine. Returns null for trivial plans (`n == 1`). Sessions
+  /// call this once and `IEngine::reset` for every further instance.
+  [[nodiscard]] std::unique_ptr<detail::IEngine> make_engine(
+      const dp::Problem& problem, pram::Machine& machine) const;
+
+ private:
+  SolvePlan() = default;
+
+  std::size_t n_ = 0;
+  std::size_t bound_ = 0;
+  std::size_t band_ = 0;
+  std::size_t cap_ = 0;
+  SublinearOptions options_;
+  /// Exactly one of the two is set (by `options_.variant`) when `n >= 2`.
+  std::shared_ptr<const detail::EngineShape<BandedPwTable>> banded_shape_;
+  std::shared_ptr<const detail::EngineShape<DensePwTable>> dense_shape_;
+};
+
+}  // namespace subdp::core

@@ -60,6 +60,14 @@ enum class TerminationMode {
 }
 
 /// Solver configuration.
+///
+/// Together with the instance size `n`, an option set keys a `SolvePlan`
+/// (solve_plan.hpp): plans are immutable per `(n, options)` and shared
+/// across sessions, so option validation happens once per shape —
+/// `SolvePlan::create` rejects invalid combinations (dense layout above
+/// `DensePwTable::kMaxDenseN`, windowed pebble without fixed-bound
+/// termination, `n` beyond the packed-coordinate cap) with a
+/// `SUBDP_REQUIRE` diagnostic before any instance is touched.
 struct SublinearOptions {
   PwVariant variant = PwVariant::kBanded;
   SquareMode square_mode = SquareMode::kHlvOneLevel;

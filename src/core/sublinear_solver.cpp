@@ -1,13 +1,13 @@
 #include "core/sublinear_solver.hpp"
 
-#include "core/pw_banded.hpp"
-#include "core/pw_dense.hpp"
-#include "support/stats.hpp"
+#include "support/assert.hpp"
 
 namespace subdp::core {
 
 SublinearSolver::SublinearSolver(SublinearOptions options)
     : options_(options), machine_(options.machine) {
+  // Fail invalid option combinations at construction, before any
+  // instance shape is known (SolvePlan::create re-validates per shape).
   SUBDP_REQUIRE(!options_.windowed_pebble ||
                     options_.termination == TerminationMode::kFixedBound,
                 "the windowed pebble schedule requires fixed-bound "
@@ -15,123 +15,51 @@ SublinearSolver::SublinearSolver(SublinearOptions options)
                 "signal when most pairs are outside the window)");
 }
 
+SolveSession& SublinearSolver::session_for(const dp::Problem& problem) {
+  const std::size_t n = problem.size();
+  if (plan_ == nullptr || plan_->n() != n) {
+    plan_ = SolvePlan::create(n, options_);
+    session_ = std::make_unique<SolveSession>(plan_, &machine_);
+  }
+  return *session_;
+}
+
 void SublinearSolver::prepare(const dp::Problem& problem) {
-  n_ = problem.size();
-  SUBDP_REQUIRE(n_ <= kMaxPackedN,
-                "instance too large: the packed pw-table coordinates "
-                "(core::Quad) support n <= 65535");
-  SUBDP_REQUIRE(options_.variant != PwVariant::kDense ||
-                    n_ <= DensePwTable::kMaxDenseN,
-                "instance too large for the dense (every-slack) layout; "
-                "use the banded variant");
-  trace_.clear();
-  machine_.reset();
-  bound_ = support::two_ceil_sqrt(n_);
-  band_ = options_.band_width != 0 ? options_.band_width
-                                   : support::two_ceil_sqrt(n_);
-  if (band_ > n_) band_ = n_;
-  if (band_ < 1) band_ = 1;
-
-  if (options_.max_iterations != 0) {
-    cap_ = options_.max_iterations;
-  } else if (options_.square_mode == SquareMode::kRytterFull) {
-    cap_ = 4 * support::ceil_log2(n_ < 2 ? 2 : n_) + 8;
-  } else {
-    cap_ = bound_;
-  }
-
-  if (n_ == 1) {
-    trivial_cost_ = problem.init(0);
-    engine_.reset();
-    return;
-  }
-
-  if (options_.variant == PwVariant::kDense) {
-    engine_ = std::make_unique<detail::Engine<DensePwTable>>(
-        problem, options_, band_, machine_);
-  } else {
-    engine_ = std::make_unique<detail::Engine<BandedPwTable>>(
-        problem, options_, band_, machine_);
-  }
+  session_for(problem).reset(problem);
 }
 
 IterationOutcome SublinearSolver::step() {
-  SUBDP_REQUIRE(engine_ != nullptr, "call prepare() first (and n >= 2)");
-  const IterationOutcome out = engine_->iterate();
-  IterationTrace t;
-  t.iteration = engine_->iterations_done();
-  t.pw_cells_changed = out.activate_changed + out.square_changed;
-  t.w_cells_changed = out.pebble_changed;
-  t.w_finite = engine_->w_finite_count();
-  trace_.push_back(t);
-  return out;
+  SUBDP_REQUIRE(session_ != nullptr,
+                "call prepare() first (and n >= 2)");
+  return session_->step();
 }
 
 Cost SublinearSolver::current_w(std::size_t i, std::size_t j) const {
-  SUBDP_REQUIRE(engine_ != nullptr, "call prepare() first");
-  return engine_->w_value(i, j);
+  SUBDP_REQUIRE(session_ != nullptr, "call prepare() first");
+  return session_->current_w(i, j);
 }
 
 Cost SublinearSolver::current_pw(std::size_t i, std::size_t j, std::size_t p,
                                  std::size_t q) const {
-  SUBDP_REQUIRE(engine_ != nullptr, "call prepare() first");
-  return engine_->pw_value(i, j, p, q);
+  SUBDP_REQUIRE(session_ != nullptr, "call prepare() first");
+  return session_->current_pw(i, j, p, q);
 }
 
 std::size_t SublinearSolver::iterations_done() const {
-  return engine_ != nullptr ? engine_->iterations_done() : 0;
+  return session_ != nullptr ? session_->iterations_done() : 0;
 }
 
 std::size_t SublinearSolver::pw_cell_count() const {
-  return engine_ != nullptr ? engine_->pw_cell_count() : 0;
+  return session_ != nullptr ? session_->pw_cell_count() : 0;
 }
 
 SublinearResult SublinearSolver::finish() {
-  SublinearResult result;
-  result.iteration_bound = bound_;
-  result.trace = trace_;
-  if (engine_ == nullptr) {  // n == 1: the answer is init(0)
-    result.cost = trivial_cost_;
-    result.iterations = 0;
-    result.reached_fixed_point = true;
-    result.w = support::Grid2D<Cost>(2, 2, kInfinity);
-    result.w(0, 1) = trivial_cost_;
-    return result;
-  }
-  result.iterations = engine_->iterations_done();
-  result.w = engine_->w_table();
-  result.cost = engine_->w_value(0, n_);
-  result.reached_fixed_point =
-      !trace_.empty() && trace_.back().pw_cells_changed == 0 &&
-      trace_.back().w_cells_changed == 0;
-  return result;
+  SUBDP_REQUIRE(session_ != nullptr, "call prepare() first");
+  return session_->finish();
 }
 
 SublinearResult SublinearSolver::solve(const dp::Problem& problem) {
-  prepare(problem);
-  if (engine_ == nullptr) return finish();
-
-  std::size_t w_unchanged_streak = 0;
-  for (std::size_t iter = 0; iter < cap_; ++iter) {
-    const IterationOutcome out = step();
-    switch (options_.termination) {
-      case TerminationMode::kFixedBound:
-        break;  // always run the full schedule
-      case TerminationMode::kFixedPoint:
-        if (!out.any_changed()) {
-          return finish();
-        }
-        break;
-      case TerminationMode::kWUnchangedTwice:
-        w_unchanged_streak =
-            out.pebble_changed == 0 ? w_unchanged_streak + 1 : 0;
-        if (w_unchanged_streak >= 2) {
-          return finish();
-        }
-        break;
-    }
-  }
-  return finish();
+  return session_for(problem).solve(problem);
 }
 
 }  // namespace subdp::core

@@ -13,6 +13,15 @@
 /// baseline this paper improves on), and the Sec. 7 termination
 /// heuristics. All PRAM work/depth is accounted on an internal `Machine`.
 ///
+/// `SublinearSolver` is the classic one-object facade over the
+/// plan/session split (solve_plan.hpp / solve_session.hpp): internally it
+/// keys an immutable `SolvePlan` by the instance size and runs a reusable
+/// `SolveSession` against it, so solving several same-`n` instances with
+/// one solver re-initialises tables in place instead of rebuilding entry
+/// lists and reallocating pw storage. Power users hold plans and sessions
+/// directly (many sessions per plan, one per worker); batch workloads go
+/// through `BatchSolver` (batch_solver.hpp).
+///
 /// Typical use:
 /// ```
 /// core::SublinearSolver solver;                 // banded defaults
@@ -21,11 +30,15 @@
 /// ```
 /// The stepping interface (`prepare` / `step` / `current_*` / `finish`)
 /// exposes the iteration to tests — in particular the Sec. 4 lock-step
-/// comparison against the pebbling game on a known optimal tree.
+/// comparison against the pebbling game on a known optimal tree. The
+/// stepping lifecycle is guarded: `step`, `current_*` and `finish` before
+/// `prepare`, or after `finish` without a new `prepare`, fail with a
+/// `SUBDP_REQUIRE` diagnostic instead of dereferencing stale state.
 
 #include <memory>
 
-#include "core/engine.hpp"
+#include "core/solve_plan.hpp"
+#include "core/solve_session.hpp"
 #include "core/solver_types.hpp"
 #include "dp/problem.hpp"
 #include "pram/machine.hpp"
@@ -43,9 +56,11 @@ class SublinearSolver {
   // -- Stepping interface (tests, traces, co-simulation) -----------------
 
   /// Initialises state for `problem` (which must outlive the stepping).
+  /// Reuses the cached plan and in-place tables when the size matches the
+  /// previous instance; otherwise builds a fresh plan for the new shape.
   void prepare(const dp::Problem& problem);
 
-  /// Runs one iteration; requires `prepare`.
+  /// Runs one iteration; requires `prepare` (and no intervening `finish`).
   IterationOutcome step();
 
   /// Current `w'(i,j)` / `pw'(i,j,p,q)` values.
@@ -57,16 +72,27 @@ class SublinearSolver {
   [[nodiscard]] std::size_t iterations_done() const;
 
   /// Packages the current state into a result (cost, w table, traces).
+  /// Finishes the stepping cycle: stepping again requires `prepare`.
   [[nodiscard]] SublinearResult finish();
 
   /// The worst-case iteration schedule for the prepared instance.
-  [[nodiscard]] std::size_t iteration_bound() const { return bound_; }
+  [[nodiscard]] std::size_t iteration_bound() const {
+    return plan_ != nullptr ? plan_->iteration_bound() : 0;
+  }
 
   /// Effective band width for the prepared instance.
-  [[nodiscard]] std::size_t effective_band() const { return band_; }
+  [[nodiscard]] std::size_t effective_band() const {
+    return plan_ != nullptr ? plan_->effective_band() : 0;
+  }
 
   /// Number of allocated pw cells (memory metric, experiment E7).
   [[nodiscard]] std::size_t pw_cell_count() const;
+
+  /// The plan backing the current shape (null before the first
+  /// `prepare`/`solve`); shareable with further sessions.
+  [[nodiscard]] std::shared_ptr<const SolvePlan> plan() const noexcept {
+    return plan_;
+  }
 
   /// The PRAM simulator carrying the work/depth ledger and (optionally)
   /// the CREW conformance checker.
@@ -76,15 +102,13 @@ class SublinearSolver {
   [[nodiscard]] const SublinearOptions& options() const { return options_; }
 
  private:
+  /// Builds (or reuses) the plan/session pair serving `problem`'s shape.
+  SolveSession& session_for(const dp::Problem& problem);
+
   SublinearOptions options_;
   pram::Machine machine_;
-  std::unique_ptr<detail::IEngine> engine_;
-  std::vector<IterationTrace> trace_;
-  std::size_t bound_ = 0;
-  std::size_t band_ = 0;
-  std::size_t cap_ = 0;
-  std::size_t n_ = 0;
-  Cost trivial_cost_ = kInfinity;  ///< Used when n == 1 (no iterations).
+  std::shared_ptr<const SolvePlan> plan_;
+  std::unique_ptr<SolveSession> session_;
 };
 
 }  // namespace subdp::core

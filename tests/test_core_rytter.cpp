@@ -87,6 +87,37 @@ TEST(Rytter, RefusesLargeInstances) {
   EXPECT_THROW((void)solve_rytter(p), std::invalid_argument);
 }
 
+TEST(Rytter, AcceptsOptionsAndAssertsSquareMode) {
+  support::Rng rng(97);
+  const auto p = dp::MatrixChainProblem::random(10, rng);
+
+  // solve_rytter shares the solver's options surface: tweaks like the
+  // termination mode ride along, but the square mode is pinned.
+  SublinearOptions options = rytter_options();
+  options.termination = TerminationMode::kFixedBound;
+  const auto full = solve_rytter(p, options);
+  EXPECT_EQ(full.cost, dp::solve_sequential(p).cost);
+  EXPECT_EQ(full.iterations, 4 * support::ceil_log2(10) + 8);
+
+  SublinearOptions wrong = rytter_options();
+  wrong.square_mode = SquareMode::kHlvOneLevel;
+  EXPECT_THROW((void)solve_rytter(p, wrong), std::invalid_argument);
+}
+
+TEST(Rytter, MatchesEquivalentSolverConfiguration) {
+  // The redesigned entry point routes through the same plan/session
+  // machinery as SublinearSolver; identical options must give identical
+  // results and traces.
+  support::Rng rng(98);
+  const auto p = dp::MatrixChainProblem::random(12, rng);
+  const auto via_api = solve_rytter(p);
+  SublinearSolver solver(rytter_options());
+  const auto via_solver = solver.solve(p);
+  EXPECT_EQ(via_api.cost, via_solver.cost);
+  EXPECT_EQ(via_api.iterations, via_solver.iterations);
+  EXPECT_TRUE(via_api.w == via_solver.w);
+}
+
 TEST(Rytter, ReachesFixedPoint) {
   support::Rng rng(96);
   const auto p = dp::MatrixChainProblem::random(10, rng);

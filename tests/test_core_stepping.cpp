@@ -110,16 +110,77 @@ TEST(Stepping, OutcomeCountsMatchTraceEntries) {
   EXPECT_EQ(result.iterations, 5u);
 }
 
-TEST(Stepping, FinishIsRepeatableAndConsistent) {
+TEST(Stepping, LifecycleGuardsBeforePrepare) {
+  // The stepping interface is guarded: using it before prepare() must
+  // fail with a SUBDP_REQUIRE diagnostic, not dereference a null engine.
+  SublinearSolver solver;
+  EXPECT_THROW((void)solver.step(), std::invalid_argument);
+  EXPECT_THROW((void)solver.finish(), std::invalid_argument);
+  EXPECT_THROW((void)solver.current_w(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)solver.current_pw(0, 2, 0, 1), std::invalid_argument);
+  EXPECT_EQ(solver.iterations_done(), 0u);
+  EXPECT_EQ(solver.pw_cell_count(), 0u);
+}
+
+TEST(Stepping, LifecycleGuardsAfterFinish) {
   support::Rng rng(405);
   const auto p = dp::MatrixChainProblem::random(12, rng);
   SublinearSolver solver;
-  const auto direct = solver.solve(p);
-  // finish() after solve() re-packages the same state.
+  solver.prepare(p);
+  (void)solver.step();
+  const auto result = solver.finish();
+  EXPECT_EQ(result.iterations, 1u);
+  // After finish() the cycle is closed: stepping or reading again
+  // without a fresh prepare() must fail, not act on stale state (the
+  // prepared problem may be long dead by now).
+  EXPECT_THROW((void)solver.step(), std::invalid_argument);
+  EXPECT_THROW((void)solver.finish(), std::invalid_argument);
+  EXPECT_THROW((void)solver.current_w(0, 12), std::invalid_argument);
+  EXPECT_THROW((void)solver.current_pw(0, 12, 0, 1),
+               std::invalid_argument);
+  // A new prepare() reopens the cycle on the same solver.
+  solver.prepare(p);
+  (void)solver.step();
+  EXPECT_EQ(solver.current_w(0, 1), p.init(0));
   const auto again = solver.finish();
-  EXPECT_EQ(direct.cost, again.cost);
-  EXPECT_TRUE(direct.w == again.w);
-  EXPECT_EQ(direct.iterations, again.iterations);
+  EXPECT_EQ(again.iterations, 1u);
+  EXPECT_EQ(again.cost, result.cost);
+}
+
+TEST(Stepping, SolveClosesTheSteppingCycle) {
+  support::Rng rng(412);
+  const auto p = dp::MatrixChainProblem::random(12, rng);
+  SublinearSolver solver;
+  const auto direct = solver.solve(p);
+  EXPECT_EQ(direct.cost, dp::solve_sequential(p).cost);
+  // solve() packages its own finish(); the stepping cycle is closed.
+  EXPECT_THROW((void)solver.finish(), std::invalid_argument);
+  EXPECT_THROW((void)solver.step(), std::invalid_argument);
+  // Counters stay readable after the cycle closes.
+  EXPECT_EQ(solver.iterations_done(), direct.iterations);
+  EXPECT_EQ(solver.pw_cell_count(), solver.plan()->pw_cell_count());
+}
+
+TEST(Stepping, SessionLifecycleGuards) {
+  support::Rng rng(413);
+  const auto p = dp::MatrixChainProblem::random(10, rng);
+  auto plan = SolvePlan::create(10);
+  SolveSession session(plan);
+  // Idle session: nothing prepared yet.
+  EXPECT_THROW((void)session.step(), std::invalid_argument);
+  EXPECT_THROW((void)session.finish(), std::invalid_argument);
+  EXPECT_THROW((void)session.current_w(0, 1), std::invalid_argument);
+  // Wrong shape: the plan serves n == 10 only.
+  const auto p12 = dp::MatrixChainProblem::random(12, rng);
+  EXPECT_THROW(session.reset(p12), std::invalid_argument);
+  // Prepared -> finished -> guarded again.
+  session.reset(p);
+  (void)session.step();
+  (void)session.finish();
+  EXPECT_THROW((void)session.step(), std::invalid_argument);
+  EXPECT_THROW((void)session.current_w(0, 1), std::invalid_argument);
+  session.reset(p);
+  EXPECT_EQ(session.solve(p).cost, dp::solve_sequential(p).cost);
 }
 
 TEST(Stepping, AccessorsRejectBadCoordinates) {
