@@ -21,9 +21,16 @@
 //    BatchSolver::solve_all (plan built once, session tables reset in
 //    place) against the same instances through a fresh per-instance
 //    solver each — rows with mode "batch-amortised" / "batch-loop" and
-//    an "instances" count; the two paths are asserted bit-identical
-//    first. The output (conventionally BENCH_walltime.json) is what CI
-//    tracks across PRs.
+//    an "instances" count — and through serve::SolverService, which
+//    overlaps whole instances across worker threads (mode
+//    "service-parallel", workers from `--workers=<k>`, default
+//    hardware_concurrency). All paths are asserted bit-identical first;
+//    the service additionally across worker counts {1, 4,
+//    hardware_concurrency} and a shuffled async submission order. Every
+//    row records "host_threads" and "workers", so rows measured on the
+//    1-core container and rows from a real multicore rerun stay
+//    distinguishable. The output (conventionally BENCH_walltime.json)
+//    is what CI tracks across PRs.
 //
 //    `--families=<a,b,...>` restricts the sweep to a comma-separated
 //    subset of families and `--max-n=<n>` caps the ladder (batch rows
@@ -38,16 +45,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <future>
+#include <numeric>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/batch_solver.hpp"
 #include "core/sublinear_solver.hpp"
+#include "serve/solver_service.hpp"
 #include "dp/matrix_chain.hpp"
 #include "dp/sequential.hpp"
 #include "dp/wavefront.hpp"
@@ -152,11 +164,16 @@ struct SweepRow {
   std::string engine;   // "reference" | "fast"
   std::string backend;  // "serial" | "threads" | "openmp"
   std::string mode = "single";  // | "batch-amortised" | "batch-loop"
+                                // | "service-parallel"
   std::size_t instances = 1;    // problems timed in this row
   double wall_ms = 0.0;         // total across `instances`
   std::uint64_t total_work = 0;  // instrumented PRAM ops; 0 = not counted
   std::size_t iterations = 0;
   Cost cost = 0;
+  // Host metadata: rows measured on a 1-core container and rows from a
+  // real multicore rerun must stay distinguishable in the artifact.
+  unsigned host_threads = std::thread::hardware_concurrency();
+  unsigned workers = 1;  // host threads the row's parallelism ran across
 };
 
 struct TimedSolve {
@@ -247,6 +264,7 @@ void sweep_variant(const dp::Problem& problem, const std::string& family,
       row.iterations =
           point.run_counted ? iterations : timed.result.iterations;
       row.cost = timed.result.cost;
+      row.workers = pram::backend_parallelism(backend);
       rows.push_back(row);
       std::printf("%-14s n=%-4zu %-7s %-9s %-7s %10.3f ms\n",
                   family.c_str(), n, variant_name, row.engine.c_str(),
@@ -266,11 +284,16 @@ void sweep_variant(const dp::Problem& problem, const std::string& family,
 
 /// Times `count` same-n instances of `family` through (a) a fresh
 /// per-instance solver each — every instance pays plan construction —
-/// and (b) `BatchSolver::solve_all`, which builds the plan once and
-/// resets one session's tables in place across the group. Asserts the
-/// two paths bit-identical before recording either row.
+/// (b) `BatchSolver::solve_all`, which builds the plan once and resets
+/// pooled session tables in place across the group, and (c)
+/// `serve::SolverService::solve_all` with `service_workers` workers
+/// overlapping whole instances (each on the serial fast path). Asserts
+/// all paths bit-identical before recording any row — the service
+/// additionally across worker counts {1, 4, hardware_concurrency,
+/// service_workers} and a shuffled async submission order.
 void sweep_batch(const std::string& family, std::size_t n,
-                 std::size_t count, std::vector<SweepRow>& rows) {
+                 std::size_t count, std::size_t service_workers,
+                 std::vector<SweepRow>& rows) {
   std::vector<std::unique_ptr<dp::Problem>> owned;
   owned.reserve(count);
   for (std::size_t k = 0; k < count; ++k) {
@@ -334,6 +357,7 @@ void sweep_batch(const std::string& family, std::size_t n,
     row.wall_ms = amortised ? batch_ms : loop_ms;
     row.iterations = batch_out.ledger.total_iterations;
     row.cost = batch_out.results.front().cost;
+    row.workers = pram::backend_parallelism(options.machine.backend);
     rows.push_back(row);
     std::printf("%-14s n=%-4zu %-7s %-15s x%zu  %10.3f ms\n",
                 family.c_str(), n, row.variant.c_str(), row.mode.c_str(),
@@ -342,6 +366,99 @@ void sweep_batch(const std::string& family, std::size_t n,
   std::printf("%-14s n=%-4zu batch amortisation saves %.1f ms (%.1f%%)\n",
               family.c_str(), n, loop_ms - batch_ms,
               100.0 * (loop_ms - batch_ms) / loop_ms);
+
+  // ---- Service rows: instances overlapped across workers ----
+
+  const auto assert_identical = [&](const core::SublinearResult& got,
+                                    std::size_t k, const char* what) {
+    SUBDP_REQUIRE(got.cost == loop_results[k].cost &&
+                      got.iterations == loop_results[k].iterations &&
+                      got.w == loop_results[k].w,
+                  std::string(what) +
+                      " diverged from the per-instance loop");
+  };
+
+  // The acceptance bar: bit-identity for worker counts {1, 4,
+  // hardware_concurrency} plus the timed count, whatever the host.
+  std::vector<std::size_t> worker_counts = {
+      1, 4, static_cast<std::size_t>(pram::backend_parallelism(
+                pram::Backend::kThreadPool)),
+      service_workers};
+  std::sort(worker_counts.begin(), worker_counts.end());
+  worker_counts.erase(
+      std::unique(worker_counts.begin(), worker_counts.end()),
+      worker_counts.end());
+  for (const std::size_t workers : worker_counts) {
+    serve::ServiceOptions service_options;
+    service_options.solver = options;
+    service_options.workers = workers;
+    serve::SolverService service(service_options);
+    const auto out = service.solve_all(pointers);
+    for (std::size_t k = 0; k < count; ++k) {
+      assert_identical(out.results[k], k, "service solve_all");
+    }
+  }
+
+  // Shuffled async submission through the future API: submission order
+  // must not leak into any result.
+  {
+    serve::ServiceOptions service_options;
+    service_options.solver = options;
+    service_options.workers = service_workers;
+    serve::SolverService service(service_options);
+    std::vector<std::size_t> order(count);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    support::Rng shuffle_rng(9100 + n);
+    shuffle_rng.shuffle(order);
+    std::vector<std::future<core::SublinearResult>> futures(count);
+    for (const std::size_t k : order) {
+      futures[k] = service.submit(*pointers[k]);
+    }
+    for (std::size_t k = 0; k < count; ++k) {
+      assert_identical(futures[k].get(), k, "shuffled service submit");
+    }
+  }
+
+  // The timed row mirrors the batch rows' protocol: cold service per
+  // rep (plan built inside), best-of-3.
+  double service_ms = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    serve::ServiceOptions service_options;
+    service_options.solver = options;
+    service_options.workers = service_workers;
+    serve::SolverService service(service_options);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = service.solve_all(pointers);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(out.results.front().cost);
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < service_ms) service_ms = ms;
+  }
+  SweepRow row;
+  row.family = family;
+  row.n = n;
+  row.variant = core::to_string(core::PwVariant::kBanded);
+  row.engine = "fast";
+  // Per-solve backend: a multi-worker service normalises to serial; a
+  // one-worker service keeps the configured backend.
+  row.backend = pram::to_string(service_workers > 1
+                                    ? pram::Backend::kSerial
+                                    : options.machine.backend);
+  row.mode = "service-parallel";
+  row.instances = count;
+  row.wall_ms = service_ms;
+  row.iterations = batch_out.ledger.total_iterations;
+  row.cost = batch_out.results.front().cost;
+  // A 1-worker service keeps the configured backend, so the row's real
+  // parallelism is that backend's, not the worker count.
+  row.workers = service_workers > 1
+                    ? static_cast<unsigned>(service_workers)
+                    : pram::backend_parallelism(options.machine.backend);
+  rows.push_back(row);
+  std::printf("%-14s n=%-4zu %-7s %-15s x%zu  %10.3f ms (%u workers)\n",
+              family.c_str(), n, row.variant.c_str(), row.mode.c_str(),
+              count, row.wall_ms, row.workers);
 }
 
 /// Comma-separated `--families=` filter; empty = all families.
@@ -360,7 +477,7 @@ std::vector<std::string> parse_family_filter(const std::string& arg) {
 
 void run_json_sweep(const std::string& path,
                     const std::vector<std::string>& family_filter,
-                    std::size_t max_n) {
+                    std::size_t max_n, std::size_t service_workers) {
   // Open the output up front: the sweep takes minutes, and a bad path
   // should fail before measuring, not after.
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -419,7 +536,7 @@ void run_json_sweep(const std::string& path,
       sweep_variant(*problem, family, core::PwVariant::kDense, point,
                     backends, rows);
     }
-    sweep_batch(family, batch_n, kBatchInstances, rows);
+    sweep_batch(family, batch_n, kBatchInstances, service_workers, rows);
   }
 
   std::fprintf(out, "{\n  \"bench\": \"walltime\",\n  \"results\": [\n");
@@ -429,10 +546,12 @@ void run_json_sweep(const std::string& path,
         out,
         "    {\"family\": \"%s\", \"n\": %zu, \"variant\": \"%s\", "
         "\"engine\": \"%s\", \"backend\": \"%s\", \"mode\": \"%s\", "
-        "\"instances\": %zu, \"wall_ms\": %.4f, "
+        "\"instances\": %zu, \"host_threads\": %u, \"workers\": %u, "
+        "\"wall_ms\": %.4f, "
         "\"total_work\": %llu, \"iterations\": %zu, \"cost\": %lld}%s\n",
         row.family.c_str(), row.n, row.variant.c_str(), row.engine.c_str(),
-        row.backend.c_str(), row.mode.c_str(), row.instances, row.wall_ms,
+        row.backend.c_str(), row.mode.c_str(), row.instances,
+        row.host_threads, row.workers, row.wall_ms,
         static_cast<unsigned long long>(row.total_work), row.iterations,
         static_cast<long long>(row.cost), r + 1 < rows.size() ? "," : "");
   }
@@ -447,6 +566,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::vector<std::string> family_filter;
   std::size_t max_n = SIZE_MAX;
+  std::size_t service_workers = 0;  // 0 = hardware_concurrency
   int kept = 1;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--json=", 7) == 0) {
@@ -460,13 +580,24 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--max-n must be at least 2\n");
         return 1;
       }
+    } else if (std::strncmp(argv[a], "--workers=", 10) == 0) {
+      service_workers = static_cast<std::size_t>(
+          std::strtoull(argv[a] + 10, nullptr, 10));
+      if (service_workers < 1) {
+        std::fprintf(stderr, "--workers must be at least 1\n");
+        return 1;
+      }
     } else {
       argv[kept++] = argv[a];
     }
   }
   argc = kept;
+  if (service_workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    service_workers = hw != 0 ? hw : 1;
+  }
   if (!json_path.empty()) {
-    run_json_sweep(json_path, family_filter, max_n);
+    run_json_sweep(json_path, family_filter, max_n, service_workers);
     return 0;
   }
   if (!family_filter.empty() || max_n != SIZE_MAX) {

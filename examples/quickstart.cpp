@@ -1,6 +1,6 @@
-// Quickstart: solve a matrix-chain instance with the paper's sublinear
-// algorithm, then batch-solve a stream of same-shape instances through
-// the prepare-once/solve-many front door.
+// Quickstart: solve one matrix-chain instance with the paper's sublinear
+// algorithm, then serve a stream of instances through the concurrent
+// SolverService front door — blocking batches and async futures.
 //
 //   $ ./quickstart
 //
@@ -9,18 +9,23 @@
 //   auto solution = subdp::core::solve(problem);
 //   // solution.cost, solution.tree, solution.iterations, ...
 //
-// and the serving-shaped API for many instances:
-//   core::BatchSolver batch;
-//   auto out = batch.solve_all(instances);   // one plan per shape,
-//   // out.results[k].cost, ...              // tables reused in place
+// and the serving-shaped API for heavy traffic:
+//   serve::SolverService service;                 // hardware workers
+//   auto batch  = service.solve_all(instances);   // blocking, ordered
+//   auto future = service.submit(problem);        // async
+//   // one SolvePlan per (n, options) in a bounded LRU cache, pooled
+//   // sessions reset in place, instances overlapped across workers —
+//   // results bit-identical to independent solves.
 
 #include <cstdio>
 #include <functional>
+#include <future>
 #include <string>
 #include <vector>
 
 #include "core/api.hpp"
 #include "dp/matrix_chain.hpp"
+#include "serve/solver_service.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -58,10 +63,11 @@ int main() {
   std::printf("  PRAM depth      : %llu parallel time units\n",
               static_cast<unsigned long long>(solution.pram_depth));
 
-  // Heavy-traffic shape: many instances, few distinct sizes. BatchSolver
-  // groups by size, builds each SolvePlan (entry lists, layout offsets,
-  // schedules) once, and re-initialises one session's tables in place
-  // across every instance of that shape.
+  // Heavy-traffic shape: many instances, few distinct sizes. The service
+  // keeps one immutable SolvePlan per (n, options) in a bounded LRU
+  // cache, checks reusable sessions out of a per-plan pool, and overlaps
+  // independent instances across its worker threads while each solve
+  // runs the serial fast path.
   subdp::support::Rng rng(7);
   std::vector<subdp::dp::MatrixChainProblem> stream;
   for (int k = 0; k < 8; ++k) {
@@ -70,21 +76,46 @@ int main() {
   std::vector<const subdp::dp::Problem*> instances;
   for (const auto& p : stream) instances.push_back(&p);
 
-  subdp::core::BatchSolver batch;
-  const subdp::core::BatchResult out = batch.solve_all(instances);
+  subdp::serve::SolverService service;  // hardware_concurrency workers
 
+  // Blocking surface: the whole batch at once, results in input order.
+  const subdp::core::BatchResult out = service.solve_all(instances);
   long long cost_sum = 0;
   for (const auto& r : out.results) {
     cost_sum += static_cast<long long>(r.cost);
   }
-  std::printf("\n  batched front door: %zu instances of n=24 in %zu shape "
-              "group(s), %zu plan(s) built\n",
+  std::printf("\n  solve_all        : %zu instances of n=24 in %zu shape "
+              "group(s), %zu plan(s) built, %zu worker(s)\n",
               out.ledger.instances, out.ledger.shape_groups,
-              out.ledger.plans_built);
+              out.ledger.plans_built, service.workers());
   std::printf("  total iterations : %zu, summed optimal cost %lld\n",
               out.ledger.total_iterations, cost_sum);
 
-  const bool batch_ok =
-      out.ledger.plans_built == 1 && out.results.size() == 8;
-  return solution.cost == 15125 && batch_ok ? 0 : 1;  // textbook answer
+  // Async surface: submit returns a future immediately; the plan and a
+  // pooled session are resolved on a worker. Per-call options work too
+  // (distinct (n, options) keys occupy distinct cache entries).
+  std::vector<std::future<subdp::core::SublinearResult>> futures;
+  for (const auto* p : instances) futures.push_back(service.submit(*p));
+  bool async_matches = true;
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    const auto result = futures[k].get();
+    async_matches = async_matches && result.cost == out.results[k].cost &&
+                    result.iterations == out.results[k].iterations &&
+                    result.w == out.results[k].w;
+  }
+  const subdp::serve::ServiceStats stats = service.stats();
+  std::printf("  async submit     : %zu futures, results %s\n",
+              futures.size(),
+              async_matches ? "bit-identical to solve_all" : "DIVERGED");
+  std::printf("  service stats    : %llu jobs, cache %llu hit / %llu miss, "
+              "%llu session reuse(s)\n",
+              static_cast<unsigned long long>(stats.jobs_completed),
+              static_cast<unsigned long long>(stats.plan_cache.hits),
+              static_cast<unsigned long long>(stats.plan_cache.misses),
+              static_cast<unsigned long long>(stats.session_reuses));
+
+  const bool serve_ok = async_matches && out.ledger.plans_built == 1 &&
+                        out.results.size() == 8 &&
+                        stats.jobs_completed == 16;
+  return solution.cost == 15125 && serve_ok ? 0 : 1;  // textbook answer
 }

@@ -1,53 +1,25 @@
 #include "core/batch_solver.hpp"
 
-#include "support/assert.hpp"
-
 namespace subdp::core {
 
-BatchSolver::BatchSolver(SublinearOptions options)
-    : options_(options) {}
-
-std::shared_ptr<const SolvePlan> BatchSolver::plan_for(std::size_t n) const {
-  const auto it = sessions_.find(n);
-  return it != sessions_.end() ? it->second->plan_ptr() : nullptr;
+serve::ServiceOptions BatchSolver::facade_options(
+    const SublinearOptions& options) {
+  serve::ServiceOptions service;
+  service.solver = options;
+  service.workers = 1;  // the classic serial streaming front door
+  // "Effectively unbounded": BatchSolver predates the bounded cache and
+  // promises warm plans for every shape it has served. Bounded eviction
+  // is the service's own front door feature.
+  service.plan_capacity = static_cast<std::size_t>(1) << 20;
+  return service;
 }
+
+BatchSolver::BatchSolver(SublinearOptions options)
+    : options_(options), service_(facade_options(options)) {}
 
 BatchResult BatchSolver::solve_all(
     std::span<const dp::Problem* const> problems) {
-  BatchResult out;
-  out.results.resize(problems.size());
-  out.ledger.instances = problems.size();
-
-  // Group instance indices by shape so each plan is built at most once
-  // and each group streams through one session's reset-in-place tables.
-  std::map<std::size_t, std::vector<std::size_t>> groups;
-  for (std::size_t idx = 0; idx < problems.size(); ++idx) {
-    SUBDP_REQUIRE(problems[idx] != nullptr,
-                  "solve_all: null problem pointer");
-    groups[problems[idx]->size()].push_back(idx);
-  }
-  out.ledger.shape_groups = groups.size();
-
-  for (const auto& [n, indices] : groups) {
-    auto it = sessions_.find(n);
-    if (it == sessions_.end()) {
-      it = sessions_
-               .emplace(n, std::make_unique<SolveSession>(
-                               SolvePlan::create(n, options_)))
-               .first;
-      ++out.ledger.plans_built;
-    } else {
-      ++out.ledger.plans_reused;
-    }
-    SolveSession& session = *it->second;
-    for (const std::size_t idx : indices) {
-      out.results[idx] = session.solve(*problems[idx]);
-      out.ledger.total_iterations += out.results[idx].iterations;
-      out.ledger.total_work += session.machine().costs().total_work();
-      out.ledger.total_depth += session.machine().costs().total_depth();
-    }
-  }
-  return out;
+  return service_.solve_all(problems);
 }
 
 }  // namespace subdp::core

@@ -1,24 +1,24 @@
 #pragma once
 
 /// \file batch_solver.hpp
-/// The batched front door for heavy-traffic workloads: solve many
-/// instances with per-shape preparation amortised away.
+/// The single-threaded batched front door, now a thin facade over
+/// `serve::SolverService`.
 ///
-/// `BatchSolver::solve_all` groups the input instances by shape (`n`;
-/// options are fixed per solver), builds one `SolvePlan` per distinct
-/// shape — entry lists, layout offsets, pair lists, iteration schedule —
-/// and then runs every same-shape instance through one reusable
-/// `SolveSession`, whose tables are re-initialised in place between
-/// instances instead of reallocated. Results are returned in input order
-/// and are bit-identical to independent `core::solve` calls (the batch
-/// test suite asserts this); an aggregated ledger reports how much
-/// preparation the grouping saved and, when the cost ledger is on, the
-/// summed PRAM work/depth.
-///
-/// Plans and sessions persist across `solve_all` calls, so a long-lived
-/// `BatchSolver` behaves like a warm server: the first batch of a new
-/// shape pays the preparation, every later batch of that shape starts
-/// hot.
+/// `BatchSolver::solve_all` keeps its original contract — group the input
+/// instances by shape (`n`; options are fixed per solver), build one
+/// `SolvePlan` per distinct shape, stream every same-shape instance
+/// through pooled reusable `SolveSession`s, and return per-instance
+/// results in input order, bit-identical to independent `core::solve`
+/// calls, plus an aggregated ledger. Since the serving subsystem landed,
+/// all of that is `serve::SolverService` behavior; `BatchSolver` simply
+/// pins the service to one worker and an effectively unbounded plan
+/// cache, so existing callers keep their warm-server semantics — solves
+/// stream one at a time through the single worker thread, and (one-worker
+/// services skip the serial-backend normalisation) each solve still runs
+/// the machine backend configured in the options, exactly as before the
+/// facade. Workloads that want instances *overlapped* across cores, an
+/// async `submit` future API, or a bounded plan cache with eviction stats
+/// should hold a `serve::SolverService` directly.
 ///
 /// ```
 /// core::BatchSolver batch;                       // banded defaults
@@ -28,65 +28,47 @@
 /// ```
 
 #include <cstddef>
-#include <cstdint>
-#include <map>
 #include <memory>
 #include <span>
-#include <vector>
 
 #include "core/solve_plan.hpp"
-#include "core/solve_session.hpp"
 #include "core/solver_types.hpp"
 #include "dp/problem.hpp"
+#include "serve/solver_service.hpp"
 
 namespace subdp::core {
-
-/// Aggregate accounting for one `solve_all` call.
-struct BatchLedger {
-  std::size_t instances = 0;      ///< Problems solved.
-  std::size_t shape_groups = 0;   ///< Distinct `n` among the inputs.
-  std::size_t plans_built = 0;    ///< Plans newly built by this call.
-  std::size_t plans_reused = 0;   ///< Shape groups served by a warm plan.
-  std::size_t total_iterations = 0;
-  /// Summed PRAM work/depth across instances; 0 unless
-  /// `options.machine.record_costs` is on.
-  std::uint64_t total_work = 0;
-  std::uint64_t total_depth = 0;
-};
-
-/// All per-instance results (input order) plus the aggregate ledger.
-struct BatchResult {
-  std::vector<SublinearResult> results;
-  BatchLedger ledger;
-};
 
 /// Prepare-once/solve-many front door; see the file comment.
 class BatchSolver {
  public:
   explicit BatchSolver(SublinearOptions options = {});
 
-  /// Solves every instance, grouping by shape to share plans and
+  /// Solves every instance, grouping by shape to share plans and pooled
   /// sessions. Null pointers are rejected. Results land in input order.
   [[nodiscard]] BatchResult solve_all(
       std::span<const dp::Problem* const> problems);
 
-  /// Warm shapes currently cached (one plan + session per distinct `n`).
-  [[nodiscard]] std::size_t cached_plan_count() const noexcept {
-    return sessions_.size();
+  /// Warm shapes currently cached (one plan + session pool per distinct
+  /// `n`).
+  [[nodiscard]] std::size_t cached_plan_count() const {
+    return service_.stats().plan_cache.size;
   }
 
   /// The plan serving shape `n`, or null if that shape was never solved.
   [[nodiscard]] std::shared_ptr<const SolvePlan> plan_for(
-      std::size_t n) const;
+      std::size_t n) const {
+    return service_.plan_for(n);
+  }
 
   [[nodiscard]] const SublinearOptions& options() const noexcept {
     return options_;
   }
 
  private:
+  static serve::ServiceOptions facade_options(const SublinearOptions& options);
+
   SublinearOptions options_;
-  /// Keyed by `n`; each session pins its plan via `plan_ptr()`.
-  std::map<std::size_t, std::unique_ptr<SolveSession>> sessions_;
+  serve::SolverService service_;
 };
 
 }  // namespace subdp::core

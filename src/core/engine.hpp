@@ -55,7 +55,9 @@
 ///    roots answers "did any pw entry inside `(i,j)` move?" in O(1) and
 ///    skips the whole block when not, and surviving quads test their HLV
 ///    windows against per-endpoint prefix sums — O(1) per quad instead of
-///    the O(B) per-quad root walk this replaces;
+///    the O(B) per-quad root walk this replaces (the mark grids behind
+///    both tests rebuild in parallel row/column passes, not the serial
+///    O(n^2) DP they once were);
 ///  * a-pebble skips pairs with no root `pw` movement since their last
 ///    rescan and no moved `w` among their gaps.
 /// Monotonicity of both tables makes every skipped site provably a no-op
@@ -551,27 +553,57 @@ class Engine final : public IEngine {
     pw_root_moved_[pair_idx].store(1, std::memory_order_relaxed);
   }
 
+  /// Parallel zero-fill of a mark grid (flat ranges are independent).
+  void clear_grid(std::vector<std::uint8_t>& grid) {
+    machine_.run_blocks(static_cast<std::int64_t>(grid.size()),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          std::fill(grid.begin() + lo, grid.begin() + hi,
+                                    std::uint8_t{0});
+                        });
+  }
+
   /// 2-D containment counts over interval marks: `out(i,j)` = #marked
-  /// `(a,b)` with `i <= a < b <= j` (inclusion-exclusion DP; shared by the
-  /// pebble's moved-w test and the square's root-block test).
+  /// `(a,b)` with `i <= a < b <= j` (shared by the pebble's moved-w test
+  /// and the square's root-block test). Computed as a row-prefix pass
+  /// then a column-suffix pass — `out(i,j)` becomes the dominance count
+  /// #marked `(a,b)` with `a >= i, b <= j`, which equals the containment
+  /// count at every cell since marks only exist at `a < b`. Each pass is
+  /// parallel over independent rows / columns (this rebuild was the
+  /// root-major sweep's per-step serial O(n^2) bottleneck); every cell
+  /// has one owner, so the counts are bit-identical to the serial
+  /// inclusion-exclusion DP they replace, whatever the backend.
   void accumulate_containment(const std::vector<std::uint8_t>& marks,
-                              std::vector<std::uint32_t>& out) const {
+                              std::vector<std::uint32_t>& out) {
     const std::size_t stride = n_ + 1;
-    for (std::size_t i = n_ + 1; i-- > 0;) {
-      for (std::size_t j = 0; j <= n_; ++j) {
-        std::uint32_t v = marks[i * stride + j];
-        if (i < n_) v += out[(i + 1) * stride + j];
-        if (j > 0) v += out[i * stride + (j - 1)];
-        if (i < n_ && j > 0) v -= out[(i + 1) * stride + (j - 1)];
-        out[i * stride + j] = v;
-      }
-    }
+    machine_.run_blocks(static_cast<std::int64_t>(n_ + 1),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t a = lo; a < hi; ++a) {
+                            const std::size_t row =
+                                static_cast<std::size_t>(a) * stride;
+                            std::uint32_t run = 0;
+                            for (std::size_t j = 0; j <= n_; ++j) {
+                              run += marks[row + j];
+                              out[row + j] = run;
+                            }
+                          }
+                        });
+    machine_.run_blocks(static_cast<std::int64_t>(n_ + 1),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t jj = lo; jj < hi; ++jj) {
+                            const std::size_t j =
+                                static_cast<std::size_t>(jj);
+                            for (std::size_t i = n_; i-- > 0;) {
+                              out[i * stride + j] +=
+                                  out[(i + 1) * stride + j];
+                            }
+                          }
+                        });
   }
 
   /// Builds the 2-D containment counts of the last pebble's moved
   /// `w` entries: `contained_(i,j)` = #moved `(p,q)` with `i<=p<q<=j`.
   void build_contained_counts() {
-    std::fill(w_moved_.begin(), w_moved_.end(), std::uint8_t{0});
+    clear_grid(w_moved_);
     for (const Pair e : frontier_) w_moved_[e.i * (n_ + 1) + e.j] = 1;
     accumulate_containment(w_moved_, contained_);
   }
@@ -580,32 +612,48 @@ class Engine final : public IEngine {
   /// sweep: containment counts (`root_contained_`, the whole-block skip
   /// test) and per-endpoint prefix sums (`mark_left_pre_(q,r)` = #moved
   /// roots `(a,q)` with `a <= r`; `mark_right_pre_(p,s)` = #moved roots
-  /// `(p,b)` with `b <= s`) for the O(1) per-quad window tests.
+  /// `(p,b)` with `b <= s`) for the O(1) per-quad window tests. Every
+  /// stage runs parallel over its independent unit — mark cells, then
+  /// rows/columns of the three prefix grids.
   void build_square_prefixes() {
     const std::size_t stride = n_ + 1;
-    std::fill(root_mark_grid_.begin(), root_mark_grid_.end(),
-              std::uint8_t{0});
-    for (std::size_t k = 0; k < pairs_.size(); ++k) {
-      if (pw_root_moved_[k].load(std::memory_order_relaxed) != 0) {
-        const Pair pr = pairs_[k];
-        root_mark_grid_[pr.i * stride + pr.j] = 1;
-      }
-    }
+    clear_grid(root_mark_grid_);
+    machine_.run_blocks(
+        static_cast<std::int64_t>(pairs_.size()),
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t k = lo; k < hi; ++k) {
+            if (pw_root_moved_[static_cast<std::size_t>(k)].load(
+                    std::memory_order_relaxed) != 0) {
+              const Pair pr = pairs_[static_cast<std::size_t>(k)];
+              root_mark_grid_[pr.i * stride + pr.j] = 1;  // distinct cells
+            }
+          }
+        });
     accumulate_containment(root_mark_grid_, root_contained_);
-    for (std::size_t q = 0; q <= n_; ++q) {
-      std::uint32_t run = 0;
-      for (std::size_t r = 0; r <= n_; ++r) {
-        run += root_mark_grid_[r * stride + q];
-        mark_left_pre_[q * stride + r] = run;
-      }
-    }
-    for (std::size_t p = 0; p <= n_; ++p) {
-      std::uint32_t run = 0;
-      for (std::size_t s = 0; s <= n_; ++s) {
-        run += root_mark_grid_[p * stride + s];
-        mark_right_pre_[p * stride + s] = run;
-      }
-    }
+    machine_.run_blocks(static_cast<std::int64_t>(n_ + 1),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t qq = lo; qq < hi; ++qq) {
+                            const std::size_t q =
+                                static_cast<std::size_t>(qq);
+                            std::uint32_t run = 0;
+                            for (std::size_t r = 0; r <= n_; ++r) {
+                              run += root_mark_grid_[r * stride + q];
+                              mark_left_pre_[q * stride + r] = run;
+                            }
+                          }
+                        });
+    machine_.run_blocks(static_cast<std::int64_t>(n_ + 1),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t pp = lo; pp < hi; ++pp) {
+                            const std::size_t p =
+                                static_cast<std::size_t>(pp);
+                            std::uint32_t run = 0;
+                            for (std::size_t s = 0; s <= n_; ++s) {
+                              run += root_mark_grid_[p * stride + s];
+                              mark_right_pre_[p * stride + s] = run;
+                            }
+                          }
+                        });
   }
 
   /// Hoisted root-block test: true iff any moved root lies inside `(i,j)`
@@ -985,7 +1033,8 @@ class Engine final : public IEngine {
   std::vector<Pair> frontier_;  ///< w entries moved by the last pebble.
   std::vector<std::uint8_t> w_moved_;
   std::vector<std::uint32_t> contained_;
-  // Root-major square sweep snapshots (rebuilt per square step).
+  // Root-major square sweep snapshots (rebuilt per square step, in
+  // parallel row/column passes — see accumulate_containment).
   std::vector<std::uint8_t> root_mark_grid_;
   std::vector<std::uint32_t> root_contained_;
   std::vector<std::uint32_t> mark_left_pre_;

@@ -17,10 +17,16 @@
 ///    the root-block runs of the root-major sweep, and the frontier
 ///    density cutoff.
 ///
-/// Plans are immutable and thread-agnostic once built: any number of
-/// `SolveSession`s (each with its own mutable tables, write logs and PRAM
-/// machine) can share one plan concurrently. `BatchSolver` builds one plan
-/// per distinct `n` and runs every same-shape instance through it;
+/// Thread-safety (audited for the concurrent serving subsystem): plans
+/// are immutable and thread-agnostic once `create` returns — every member
+/// is set before the `shared_ptr<const SolvePlan>` escapes, all accessors
+/// are const reads of that state, and `make_engine` only *reads* the plan
+/// while constructing engine state owned by the caller's session. So any
+/// number of `SolveSession`s (each with its own mutable tables, write
+/// logs and PRAM machine) can share one plan from any number of threads
+/// with no synchronisation; `serve::SessionPool` relies on exactly this.
+/// `BatchSolver` and `serve::SolverService` build one plan per distinct
+/// `(n, options)` and run every same-shape instance through it;
 /// `SublinearSolver` and `core::solve` are thin facades that build (or
 /// reuse) a plan per call site. Building a plan is the expensive step —
 /// O(n^2 B^2) entry-list and slot construction — which is exactly what

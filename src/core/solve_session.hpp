@@ -12,6 +12,17 @@
 /// solve-many cheap after prepare-once (see solve_plan.hpp). Any number of
 /// sessions can share one plan, one per worker thread in a serving setup.
 ///
+/// Thread-safety (audited for the concurrent serving subsystem): a
+/// session is strictly *single-threaded* — it has no internal locking,
+/// and `reset`/`step`/`finish`/`solve` mutate its tables and ledger
+/// freely. Distinct sessions over one shared plan are fully independent
+/// (the plan is immutable, the engine only reads it), so concurrency is
+/// achieved by giving each worker its own session — which is what
+/// `serve::SessionPool` leases enforce by construction. The bound
+/// `dp::Problem` is only read through its const interface, but it is read
+/// *during* the solve, so a problem solved on several sessions at once
+/// must tolerate concurrent const calls (see dp/problem.hpp).
+///
 /// Lifecycle: a session starts *idle*; `reset(problem)` makes it
 /// *prepared* (tables initialised, ledger cleared); `step()` /
 /// `current_*()` observe the prepared iteration state; `finish()`

@@ -3,6 +3,7 @@
 /// \file solver_types.hpp
 /// Options, traces and results for the sublinear solver.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -127,6 +128,26 @@ struct SublinearResult {
   /// Final `w'` table (optimal for every pair once the schedule ran).
   support::Grid2D<Cost> w;
   std::vector<IterationTrace> trace;
+};
+
+/// Aggregate accounting for one `solve_all` call (`BatchSolver` and
+/// `serve::SolverService` both report through this).
+struct BatchLedger {
+  std::size_t instances = 0;      ///< Problems solved.
+  std::size_t shape_groups = 0;   ///< Distinct `n` among the inputs.
+  std::size_t plans_built = 0;    ///< Plans newly built by this call.
+  std::size_t plans_reused = 0;   ///< Shape groups served by a warm plan.
+  std::size_t total_iterations = 0;
+  /// Summed PRAM work/depth across instances; 0 unless
+  /// `options.machine.record_costs` is on.
+  std::uint64_t total_work = 0;
+  std::uint64_t total_depth = 0;
+};
+
+/// All per-instance results (input order) plus the aggregate ledger.
+struct BatchResult {
+  std::vector<SublinearResult> results;
+  BatchLedger ledger;
 };
 
 }  // namespace subdp::core

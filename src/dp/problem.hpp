@@ -12,6 +12,14 @@
 /// ordering, optimal binary search trees and optimal polygon triangulation
 /// are all instances (Sec. 1). Solvers only access instances through this
 /// interface, so any user-defined recurrence of the family plugs in.
+///
+/// Thread-safety contract: solvers call `size`/`init`/`f` concurrently —
+/// from the parallel loops inside one solve, and, under
+/// `serve::SolverService`, from several worker threads solving the same
+/// instance at once. Implementations must therefore make these const
+/// calls safe to run concurrently: compute from immutable state set up in
+/// the constructor (as every bundled problem does) and do not hide
+/// mutable caches behind the const interface without locking.
 
 #include <cstddef>
 #include <string>

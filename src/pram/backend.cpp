@@ -1,5 +1,11 @@
 #include "pram/backend.hpp"
 
+#include "pram/thread_pool.hpp"
+
+#ifdef SUBDP_HAVE_OPENMP
+#include <omp.h>
+#endif
+
 namespace subdp::pram {
 
 const char* to_string(Backend backend) noexcept {
@@ -30,5 +36,21 @@ bool openmp_available() noexcept {
 }
 
 Backend default_backend() noexcept { return Backend::kThreadPool; }
+
+unsigned backend_parallelism(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kSerial:
+      return 1;
+    case Backend::kThreadPool:
+      return ThreadPool::shared().parallelism();
+    case Backend::kOpenMP:
+#ifdef SUBDP_HAVE_OPENMP
+      return static_cast<unsigned>(omp_get_max_threads());
+#else
+      return 1;  // the loop falls back to serial
+#endif
+  }
+  return 1;
+}
 
 }  // namespace subdp::pram

@@ -35,4 +35,10 @@ enum class Backend {
 /// The preferred backend on this build (thread pool; it is always available).
 [[nodiscard]] Backend default_backend() noexcept;
 
+/// Host threads a parallel loop on `backend` executes across: 1 for
+/// serial, the shared pool's parallelism for the thread pool, OpenMP's
+/// max thread count when compiled in (bench rows record this so runs
+/// from differently-sized hosts stay distinguishable).
+[[nodiscard]] unsigned backend_parallelism(Backend backend) noexcept;
+
 }  // namespace subdp::pram

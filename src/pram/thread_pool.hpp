@@ -15,6 +15,17 @@
 /// call per *chunk* while the per-index loop inside the body inlines into
 /// the worker — no `std::function` allocation or per-cell type erasure on
 /// the hot path. `std::function` bodies still work (they are callables).
+///
+/// The engine's inner loops are the pool's caller, through
+/// `Machine::run_blocks` / `parallel_for_blocked` on the process-wide
+/// `shared()` pool. `serve::SolverService` deliberately does *not* run
+/// its dispatch through this pool: a fork-join round cannot return
+/// before its longest solve, so async submissions arriving mid-round
+/// would head-of-line block behind it — the service keeps free-running
+/// queue-consumer threads instead, and (when it runs more than one
+/// worker) forces each solve onto the serial backend so `shared()`
+/// never sees loops issued from two service workers at once, honouring
+/// the single-issuer contract below.
 
 #include <atomic>
 #include <condition_variable>

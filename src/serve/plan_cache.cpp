@@ -1,0 +1,137 @@
+#include "serve/plan_cache.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::serve {
+
+PlanKey PlanKey::make(std::size_t n,
+                      const core::SublinearOptions& options) {
+  PlanKey key;
+  key.n = n;
+  key.variant = options.variant;
+  key.square_mode = options.square_mode;
+  key.termination = options.termination;
+  key.band_width = options.band_width;
+  key.max_iterations = options.max_iterations;
+  key.windowed_pebble = options.windowed_pebble;
+  key.delta_buffering = options.delta_buffering;
+  key.frontier_sweeps = options.frontier_sweeps;
+  key.backend = options.machine.backend;
+  key.check_crew = options.machine.check_crew;
+  key.record_costs = options.machine.record_costs;
+  return key;
+}
+
+PlanCache::PlanCache(std::size_t capacity, std::size_t sessions_per_plan)
+    : capacity_(capacity), sessions_per_plan_(sessions_per_plan) {
+  SUBDP_REQUIRE(capacity_ >= 1, "PlanCache requires a capacity of at least 1");
+  SUBDP_REQUIRE(sessions_per_plan_ >= 1,
+                "PlanCache requires at least one session per plan");
+}
+
+std::shared_ptr<SessionPool> PlanCache::acquire(
+    std::size_t n, const core::SublinearOptions& options, bool* built) {
+  const PlanKey key = PlanKey::make(n, options);
+  std::shared_ptr<Slot> slot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      if (built != nullptr) *built = false;
+      lru_.splice(lru_.begin(), lru_, it->second);  // MRU bump
+      slot = it->second->slot;
+    } else {
+      ++misses_;
+      if (built != nullptr) *built = true;
+      slot = std::make_shared<Slot>();
+      insert_mru(key, slot);
+    }
+  }
+  // The expensive O(n^2 B^2) build happens here, with the cache-wide
+  // lock released: only same-key requesters block (on build_mutex) and
+  // then share the finished pool.
+  const std::lock_guard<std::mutex> build_lock(slot->build_mutex);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (slot->pool != nullptr) return slot->pool;
+  }
+  std::shared_ptr<SessionPool> pool;
+  try {
+    pool = std::make_shared<SessionPool>(core::SolvePlan::create(n, options),
+                                         sessions_per_plan_);
+  } catch (...) {
+    // Plan validation failed: drop the placeholder so a dead entry does
+    // not occupy capacity (a retry is a fresh miss).
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end() && it->second->slot == slot) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    throw;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  slot->pool = pool;
+  // The placeholder may be gone by now — dropped by a failed same-key
+  // build we waited behind, or evicted at capacity mid-build. Re-insert
+  // (as most-recently-used: it was just requested) so the successful
+  // build is actually cached, not orphaned.
+  if (index_.find(key) == index_.end()) insert_mru(key, slot);
+  return pool;
+}
+
+void PlanCache::insert_mru(const PlanKey& key, std::shared_ptr<Slot> slot) {
+  lru_.push_front(Entry{key, std::move(slot)});
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();  // in-flight leases keep the evicted pool alive
+    ++evictions_;
+  }
+}
+
+std::shared_ptr<const core::SolvePlan> PlanCache::peek(
+    std::size_t n, const core::SublinearOptions& options) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(PlanKey::make(n, options));
+  if (it == index_.end()) return nullptr;
+  const auto& pool = it->second->slot->pool;  // null while still building
+  return pool != nullptr ? pool->plan_ptr() : nullptr;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PlanCacheStats out;
+  out.capacity = capacity_;
+  out.size = lru_.size();
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  return out;
+}
+
+SessionPoolStats PlanCache::pooled_session_stats() const {
+  std::vector<std::shared_ptr<SessionPool>> pools;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pools.reserve(lru_.size());
+    for (const Entry& entry : lru_) {
+      if (entry.slot->pool != nullptr) pools.push_back(entry.slot->pool);
+    }
+  }
+  // Pool locks are taken outside the cache lock (stable order, no cycles).
+  SessionPoolStats sum;
+  for (const auto& pool : pools) {
+    const SessionPoolStats s = pool->stats();
+    sum.capacity += s.capacity;
+    sum.sessions_created += s.sessions_created;
+    sum.in_use += s.in_use;
+    sum.peak_in_use += s.peak_in_use;
+    sum.checkouts += s.checkouts;
+    sum.reuses += s.reuses;
+  }
+  return sum;
+}
+
+}  // namespace subdp::serve

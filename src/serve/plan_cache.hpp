@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file plan_cache.hpp
+/// A thread-safe, bounded-LRU cache of `SolvePlan`s and their session
+/// pools, keyed by `(n, SublinearOptions)`.
+///
+/// Building a plan is the expensive step of a solve — O(n^2 B^2) entry
+/// lists, offset tables and slot maps — and plans are immutable, so a
+/// server wants to build each shape once and share it. `BatchSolver`
+/// already did that, but kept every shape it had ever seen (an unbounded
+/// map, flagged in ROADMAP.md). `PlanCache` bounds it: at most `capacity`
+/// shapes stay resident, evicted least-recently-used, with hit / miss /
+/// eviction counters surfaced through `ServiceStats`.
+///
+/// Each cached shape carries its `SessionPool` alongside the plan, so
+/// eviction retires the sessions (the allocated tables) together with the
+/// geometry. Entries are handed out as `shared_ptr`s: a shape evicted
+/// while solves are in flight stays alive — detached from the cache —
+/// until the last lease returns; a re-request of that key is a fresh miss
+/// that rebuilds the plan.
+///
+/// The key covers every option field that shapes a plan (layout variant,
+/// square mode, termination, band, caps, hot-path toggles, machine
+/// configuration), so two clients asking for the same `n` under different
+/// options get distinct plans — and distinct pools — as correctness
+/// requires.
+///
+/// Thread-safety: all methods may be called from any thread. A miss
+/// inserts a placeholder under the cache-wide lock, then builds the plan
+/// under a *per-entry* lock with the cache lock released — so a cold
+/// build only blocks concurrent requests for the *same* key (which then
+/// share the one build), never hits, peeks or stats on other keys.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "core/solve_plan.hpp"
+#include "core/solver_types.hpp"
+#include "serve/session_pool.hpp"
+
+namespace subdp::serve {
+
+/// Total order over everything that distinguishes one plan (and the
+/// machine configuration of its sessions) from another.
+struct PlanKey {
+  std::size_t n = 0;
+  core::PwVariant variant = core::PwVariant::kBanded;
+  core::SquareMode square_mode = core::SquareMode::kHlvOneLevel;
+  core::TerminationMode termination = core::TerminationMode::kFixedPoint;
+  std::size_t band_width = 0;
+  std::size_t max_iterations = 0;
+  bool windowed_pebble = false;
+  bool delta_buffering = true;
+  bool frontier_sweeps = true;
+  pram::Backend backend = pram::default_backend();
+  bool check_crew = false;
+  bool record_costs = true;
+
+  [[nodiscard]] static PlanKey make(std::size_t n,
+                                    const core::SublinearOptions& options);
+
+  friend bool operator<(const PlanKey& a, const PlanKey& b) {
+    auto tie = [](const PlanKey& k) {
+      return std::tuple(k.n, k.variant, k.square_mode, k.termination,
+                        k.band_width, k.max_iterations, k.windowed_pebble,
+                        k.delta_buffering, k.frontier_sweeps, k.backend,
+                        k.check_crew, k.record_costs);
+    };
+    return tie(a) < tie(b);
+  }
+};
+
+/// One consistent snapshot of the cache's counters.
+struct PlanCacheStats {
+  std::size_t capacity = 0;
+  std::size_t size = 0;         ///< Shapes currently resident.
+  std::uint64_t hits = 0;       ///< Requests served by a resident shape.
+  std::uint64_t misses = 0;     ///< Requests that built a plan.
+  std::uint64_t evictions = 0;  ///< Shapes retired at the bound.
+};
+
+/// Bounded-LRU shape cache; see the file comment.
+class PlanCache {
+ public:
+  /// Keeps at most `capacity >= 1` shapes resident. Each miss builds the
+  /// plan and a `SessionPool` of at most `sessions_per_plan` sessions.
+  PlanCache(std::size_t capacity, std::size_t sessions_per_plan);
+
+  /// The pool (and plan) serving `(n, options)`: most-recently-used bump
+  /// on a hit, plan build + LRU eviction on a miss. `built`, when given,
+  /// reports which of the two happened.
+  [[nodiscard]] std::shared_ptr<SessionPool> acquire(
+      std::size_t n, const core::SublinearOptions& options,
+      bool* built = nullptr);
+
+  /// The resident plan for `(n, options)`, or null — no stats recorded,
+  /// no LRU reordering (diagnostic lookups, `BatchSolver::plan_for`).
+  [[nodiscard]] std::shared_ptr<const core::SolvePlan> peek(
+      std::size_t n, const core::SublinearOptions& options) const;
+
+  [[nodiscard]] PlanCacheStats stats() const;
+
+  /// Sums `SessionPoolStats` counters across the resident pools.
+  [[nodiscard]] SessionPoolStats pooled_session_stats() const;
+
+ private:
+  /// One cached shape. `pool` is guarded by the cache-wide `mutex_` (it
+  /// is null while the plan is still building); `build_mutex` serialises
+  /// the build itself so only same-key requesters wait on it. Lock order:
+  /// `build_mutex` before `mutex_`, and `mutex_` is never held across a
+  /// build.
+  struct Slot {
+    std::mutex build_mutex;
+    std::shared_ptr<SessionPool> pool;
+  };
+
+  /// LRU list, most recent at the front; the map indexes into it.
+  struct Entry {
+    PlanKey key;
+    std::shared_ptr<Slot> slot;
+  };
+
+  /// Inserts as most-recently-used and evicts down to capacity.
+  /// Requires `mutex_` held.
+  void insert_mru(const PlanKey& key, std::shared_ptr<Slot> slot);
+
+  std::size_t capacity_;
+  std::size_t sessions_per_plan_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;
+  std::map<PlanKey, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace subdp::serve

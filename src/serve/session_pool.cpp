@@ -1,0 +1,77 @@
+#include "serve/session_pool.hpp"
+
+#include "support/assert.hpp"
+
+namespace subdp::serve {
+
+SessionPool::SessionPool(std::shared_ptr<const core::SolvePlan> plan,
+                         std::size_t max_sessions)
+    : plan_(std::move(plan)), capacity_(max_sessions) {
+  SUBDP_REQUIRE(plan_ != nullptr, "SessionPool requires a plan");
+  SUBDP_REQUIRE(capacity_ >= 1, "SessionPool requires a cap of at least 1");
+}
+
+SessionPool::Lease& SessionPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = std::move(other.pool_);
+    session_ = std::move(other.session_);
+    fresh_ = other.fresh_;
+  }
+  return *this;
+}
+
+void SessionPool::Lease::release() {
+  if (session_ != nullptr && pool_ != nullptr) {
+    pool_->give_back(std::move(session_));
+  }
+  session_.reset();
+  pool_.reset();
+}
+
+SessionPool::Lease SessionPool::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  session_returned_.wait(
+      lock, [&] { return !idle_.empty() || created_ < capacity_; });
+  std::unique_ptr<core::SolveSession> session;
+  bool fresh = false;
+  if (!idle_.empty()) {
+    session = std::move(idle_.back());
+    idle_.pop_back();
+    ++reuses_;
+  } else {
+    // Construct outside the lock? No: growth is rare (at most `capacity_`
+    // times over the pool's lifetime) and constructing under the lock
+    // keeps `created_ <= capacity_` trivially correct.
+    session = std::make_unique<core::SolveSession>(plan_);
+    ++created_;
+    fresh = true;
+  }
+  ++in_use_;
+  ++checkouts_;
+  if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
+  return Lease(shared_from_this(), std::move(session), fresh);
+}
+
+void SessionPool::give_back(std::unique_ptr<core::SolveSession> session) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(session));
+    --in_use_;
+  }
+  session_returned_.notify_one();
+}
+
+SessionPoolStats SessionPool::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SessionPoolStats out;
+  out.capacity = capacity_;
+  out.sessions_created = created_;
+  out.in_use = in_use_;
+  out.peak_in_use = peak_in_use_;
+  out.checkouts = checkouts_;
+  out.reuses = reuses_;
+  return out;
+}
+
+}  // namespace subdp::serve

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file session_pool.hpp
+/// A per-plan pool of reusable `SolveSession`s for concurrent serving.
+///
+/// One `SolvePlan` is immutable and thread-agnostic, so any number of
+/// sessions can share it — but each `SolveSession` is strictly
+/// single-threaded (it owns the mutable pw/w tables, write logs and PRAM
+/// machine of one in-flight solve). The pool mediates between the two:
+/// `acquire()` checks out an idle session (or lazily constructs a new one
+/// while the pool is below its cap) and hands it back as an RAII
+/// `SessionLease`; destroying the lease returns the session to the idle
+/// list, tables still allocated, ready to be `reset` in place by the next
+/// checkout's solve. When every session is checked out and the cap is
+/// reached, `acquire()` blocks until a lease returns — the cap is the
+/// pool's back-pressure knob (a `SolverService` sizes it to its worker
+/// count, so pool growth is bounded by the real concurrency).
+///
+/// Thread-safety: `acquire()`, lease destruction and `stats()` may be
+/// called from any thread. The *leased session* must be driven by one
+/// thread at a time (which holding the lease enforces by construction).
+/// Pools are managed through `shared_ptr` — a lease pins its pool, so a
+/// pool evicted from the `PlanCache` while leases are in flight stays
+/// alive until the last lease returns.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/solve_plan.hpp"
+#include "core/solve_session.hpp"
+
+namespace subdp::serve {
+
+/// Counters describing a pool's lifetime usage (one consistent snapshot).
+struct SessionPoolStats {
+  std::size_t capacity = 0;          ///< Maximal sessions ever allocated.
+  std::size_t sessions_created = 0;  ///< Sessions constructed so far.
+  std::size_t in_use = 0;            ///< Currently leased.
+  std::size_t peak_in_use = 0;       ///< High-water mark of `in_use`.
+  std::uint64_t checkouts = 0;       ///< Total successful `acquire()`s.
+  /// Checkouts served by an already-constructed session (warm tables).
+  std::uint64_t reuses = 0;
+};
+
+/// Checkout pool of reusable sessions over one shared plan; see the file
+/// comment.
+class SessionPool : public std::enable_shared_from_this<SessionPool> {
+ public:
+  /// The pool serves `plan` with at most `max_sessions` sessions
+  /// (>= 1; sessions are constructed lazily, one per concurrent lease).
+  SessionPool(std::shared_ptr<const core::SolvePlan> plan,
+              std::size_t max_sessions);
+
+  /// RAII checkout: holds exclusive use of one session (and pins the
+  /// pool). Movable, not copyable; destruction returns the session.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept = default;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] core::SolveSession& session() noexcept {
+      return *session_;
+    }
+    core::SolveSession* operator->() noexcept { return session_.get(); }
+
+    /// True when the session was constructed for this checkout (a cold
+    /// start); false when warm tables were reused.
+    [[nodiscard]] bool fresh() const noexcept { return fresh_; }
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return session_ != nullptr;
+    }
+
+    /// Returns the session early (idempotent; the destructor calls this).
+    void release();
+
+   private:
+    friend class SessionPool;
+    Lease(std::shared_ptr<SessionPool> pool,
+          std::unique_ptr<core::SolveSession> session, bool fresh)
+        : pool_(std::move(pool)),
+          session_(std::move(session)),
+          fresh_(fresh) {}
+
+    std::shared_ptr<SessionPool> pool_;
+    std::unique_ptr<core::SolveSession> session_;
+    bool fresh_ = false;
+  };
+
+  /// Checks out a session: an idle one when available, a newly
+  /// constructed one while below the cap, otherwise blocks until a lease
+  /// returns. Must not be called while the caller already holds a lease
+  /// on this pool from the same thread (self-deadlock at the cap).
+  [[nodiscard]] Lease acquire();
+
+  [[nodiscard]] const core::SolvePlan& plan() const noexcept {
+    return *plan_;
+  }
+  [[nodiscard]] std::shared_ptr<const core::SolvePlan> plan_ptr()
+      const noexcept {
+    return plan_;
+  }
+
+  [[nodiscard]] SessionPoolStats stats() const;
+
+ private:
+  void give_back(std::unique_ptr<core::SolveSession> session);
+
+  std::shared_ptr<const core::SolvePlan> plan_;
+  std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable session_returned_;
+  std::vector<std::unique_ptr<core::SolveSession>> idle_;
+  std::size_t created_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t peak_in_use_ = 0;
+  std::uint64_t checkouts_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace subdp::serve

@@ -1,0 +1,278 @@
+#include "serve/solver_service.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace subdp::serve {
+
+namespace {
+
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+}  // namespace
+
+core::SublinearOptions SolverService::normalized(
+    core::SublinearOptions options) const {
+  // Multi-worker sessions run the serial engine path (the shared engine
+  // pool is single-issuer, and instance-level parallelism already covers
+  // the cores); a one-worker service keeps the caller's backend, so the
+  // BatchSolver facade behaves exactly like the pre-service BatchSolver.
+  if (workers_ > 1) options.machine.backend = pram::Backend::kSerial;
+  return options;
+}
+
+/// Completion rendezvous for one `solve_all` call.
+struct SolverService::BatchCall {
+  core::SublinearResult* results = nullptr;  ///< Slot per input index.
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t work = 0;
+  std::uint64_t depth = 0;
+  std::exception_ptr error;
+};
+
+SolverService::SolverService(ServiceOptions options)
+    : options_(std::move(options)),
+      workers_(resolve_workers(options_.workers)),
+      cache_(options_.plan_capacity,
+             options_.sessions_per_plan != 0 ? options_.sessions_per_plan
+                                             : workers_) {
+  options_.solver = normalized(options_.solver);
+  worker_threads_.reserve(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SolverService::~SolverService() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : worker_threads_) {
+    worker.join();  // workers drain every queued job first
+  }
+}
+
+std::future<core::SublinearResult> SolverService::submit(
+    const dp::Problem& problem) {
+  return submit(problem, options_.solver);
+}
+
+std::future<core::SublinearResult> SolverService::submit(
+    const dp::Problem& problem, const core::SublinearOptions& options) {
+  Job job;
+  job.problem = &problem;
+  job.solve_options = normalized(options);
+  job.has_promise = true;
+  std::future<core::SublinearResult> future = job.promise.get_future();
+  enqueue(std::move(job));
+  return future;
+}
+
+core::BatchResult SolverService::solve_all(
+    std::span<const dp::Problem* const> problems) {
+  return solve_all(problems, options_.solver);
+}
+
+core::BatchResult SolverService::solve_all(
+    std::span<const dp::Problem* const> problems,
+    const core::SublinearOptions& options) {
+  const core::SublinearOptions opts = normalized(options);
+  core::BatchResult out;
+  out.results.resize(problems.size());
+  out.ledger.instances = problems.size();
+
+  // Group instance indices by shape: the ledger accounts one cache
+  // hit/miss per distinct `n`, and same-shape jobs share the resolved
+  // pool so workers skip the cache entirely.
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t idx = 0; idx < problems.size(); ++idx) {
+    SUBDP_REQUIRE(problems[idx] != nullptr,
+                  "solve_all: null problem pointer");
+    groups[problems[idx]->size()].push_back(idx);
+  }
+  out.ledger.shape_groups = groups.size();
+  if (problems.empty()) return out;
+
+  BatchCall call;
+  call.results = out.results.data();
+  call.remaining = problems.size();
+
+  std::deque<Job> jobs;
+  for (const auto& [n, indices] : groups) {
+    bool built = false;
+    // Resolving on the caller thread (not per job on a worker) keeps the
+    // per-call ledger exact: one hit or miss per shape group.
+    std::shared_ptr<SessionPool> pool = cache_.acquire(n, opts, &built);
+    if (built) {
+      ++out.ledger.plans_built;
+    } else {
+      ++out.ledger.plans_reused;
+    }
+    for (const std::size_t idx : indices) {
+      Job job;
+      job.problem = problems[idx];
+      job.solve_options = opts;
+      job.pool = pool;
+      job.batch = &call;
+      job.slot = idx;
+      jobs.push_back(std::move(job));
+    }
+  }
+  enqueue(std::move(jobs));
+
+  {
+    std::unique_lock<std::mutex> lock(call.mutex);
+    call.done.wait(lock, [&] { return call.remaining == 0; });
+  }
+  if (call.error) std::rethrow_exception(call.error);
+  out.ledger.total_iterations = static_cast<std::size_t>(call.iterations);
+  out.ledger.total_work = call.work;
+  out.ledger.total_depth = call.depth;
+  return out;
+}
+
+void SolverService::enqueue(Job&& job) {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    SUBDP_REQUIRE(!stopping_,
+                  "SolverService::submit/solve_all after shutdown began");
+    {
+      // Counted *before* the job becomes visible, so `stats()` can never
+      // observe jobs_completed > jobs_submitted.
+      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++jobs_submitted_;
+    }
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+}
+
+void SolverService::enqueue(std::deque<Job>&& jobs) {
+  const std::size_t count = jobs.size();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    SUBDP_REQUIRE(!stopping_,
+                  "SolverService::submit/solve_all after shutdown began");
+    {
+      // Counted *before* the jobs become visible; see the overload above.
+      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      jobs_submitted_ += count;
+    }
+    for (Job& job : jobs) queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_all();
+}
+
+void SolverService::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_job(job);
+  }
+}
+
+void SolverService::run_job(Job& job) {
+  try {
+    std::shared_ptr<SessionPool> pool = job.pool;
+    if (pool == nullptr) {
+      // submit() path: resolve the shape here, off the caller's thread.
+      pool = cache_.acquire(job.problem->size(), job.solve_options);
+    }
+    SessionPool::Lease lease = pool->acquire();
+    const bool fresh = lease.fresh();
+    core::SublinearResult result = lease->solve(*job.problem);
+    std::uint64_t work = 0;
+    std::uint64_t depth = 0;
+    if (job.solve_options.machine.record_costs) {
+      work = lease->machine().costs().total_work();
+      depth = lease->machine().costs().total_depth();
+    }
+    lease.release();  // free the session before completion bookkeeping
+    const std::uint64_t iterations = result.iterations;
+
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++jobs_completed_;
+      total_iterations_ += iterations;
+      total_work_ += work;
+      total_depth_ += depth;
+      if (fresh) {
+        ++sessions_created_;
+      } else {
+        ++session_reuses_;
+      }
+    }
+
+    if (job.batch != nullptr) {
+      job.batch->results[job.slot] = std::move(result);  // distinct slots
+      // Notify under the lock: once `remaining` hits 0 the waiter may
+      // destroy the BatchCall, so the CV must not be touched unlocked.
+      const std::lock_guard<std::mutex> lock(job.batch->mutex);
+      job.batch->iterations += iterations;
+      job.batch->work += work;
+      job.batch->depth += depth;
+      if (--job.batch->remaining == 0) job.batch->done.notify_all();
+    } else if (job.has_promise) {
+      job.promise.set_value(std::move(result));
+    }
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++jobs_completed_;
+    }
+    if (job.batch != nullptr) {
+      const std::lock_guard<std::mutex> lock(job.batch->mutex);
+      if (!job.batch->error) job.batch->error = std::current_exception();
+      if (--job.batch->remaining == 0) job.batch->done.notify_all();
+    } else if (job.has_promise) {
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+ServiceStats SolverService::stats() const {
+  ServiceStats out;
+  out.workers = workers_;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    out.jobs_submitted = jobs_submitted_;
+    out.jobs_completed = jobs_completed_;
+    out.total_iterations = total_iterations_;
+    out.total_work = total_work_;
+    out.total_depth = total_depth_;
+    out.sessions_created = sessions_created_;
+    out.session_reuses = session_reuses_;
+  }
+  out.plan_cache = cache_.stats();
+  return out;
+}
+
+std::shared_ptr<const core::SolvePlan> SolverService::plan_for(
+    std::size_t n) const {
+  return plan_for(n, options_.solver);
+}
+
+std::shared_ptr<const core::SolvePlan> SolverService::plan_for(
+    std::size_t n, const core::SublinearOptions& options) const {
+  return cache_.peek(n, normalized(options));
+}
+
+}  // namespace subdp::serve

@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file solver_service.hpp
+/// The concurrent serving front door: many independent DP instances,
+/// overlapped across worker threads, behind one long-lived object.
+///
+/// Everything below `SolverService` exists to make this safe and cheap:
+/// immutable `SolvePlan`s shared across any number of sessions, a bounded
+/// `PlanCache` so shape diversity cannot grow memory server-lifetime
+/// large, and per-plan `SessionPool`s whose sessions are `reset` in place
+/// between instances. The service adds the missing piece named in
+/// ROADMAP.md: *instance-level* parallelism. Where `BatchSolver` streamed
+/// same-shape instances through one session serially (all parallelism
+/// inside a single solve), the service keeps a pool of `workers`
+/// long-lived worker threads consuming a shared dispatch queue, each
+/// solve running the *serial* fast path. (A fork-join dispatch over
+/// `pram::ThreadPool` was considered and rejected: a round cannot finish
+/// before its longest solve, so async submissions arriving mid-round
+/// would head-of-line block behind it; free-running queue consumers have
+/// no rounds and no such cliff.) For batch traffic this inverts the
+/// parallelism axis: overlapping whole instances scales embarrassingly,
+/// needs no barriers per macro-step, and keeps every worker's tables hot
+/// in its own cache.
+///
+/// Two submission surfaces share one dispatch queue:
+///  * `solve_all(problems)` — blocking, a drop-in superset of
+///    `BatchSolver::solve_all` (which is now a thin `workers = 1` facade
+///    over this service): groups by shape, reports the same `BatchResult`
+///    ledger, returns results in input order.
+///  * `submit(problem)` — asynchronous: enqueues one instance and returns
+///    a `std::future<SublinearResult>`; an overload takes per-call
+///    `SublinearOptions`, exercising the cache's `(n, options)` keying.
+///
+/// Determinism: a solve is a pure function of `(problem, plan)` — sessions
+/// share nothing mutable, the queue only changes *when* an instance runs,
+/// never *what* it computes — so results are bit-identical to independent
+/// `core::solve` calls for every worker count and submission order (the
+/// serve test suite and the walltime bench assert this).
+///
+/// When the service runs more than one worker, sessions normalise the
+/// machine backend to `kSerial`: the inner engine must not issue
+/// fork-join loops on the shared engine pool from several service
+/// workers at once (that pool is single-issuer), and with instances
+/// already covering the cores, intra-solve threading has nothing left to
+/// win. A one-worker service (the `BatchSolver` facade) keeps the
+/// caller's configured backend — there is only one issuer, and the old
+/// `BatchSolver` behavior (parallelism inside each solve) is preserved
+/// exactly. Normalisation happens before keying the cache, so the
+/// `(n, options)` key space is not split by ignored backend choices.
+///
+/// ```
+/// serve::SolverService service;                  // hardware workers
+/// auto future = service.submit(problem);         // async
+/// auto batch  = service.solve_all(instances);    // blocking, ordered
+/// auto stats  = service.stats();                 // cache + pool + ledger
+/// ```
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/solver_types.hpp"
+#include "dp/problem.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/session_pool.hpp"
+
+namespace subdp::serve {
+
+/// Configuration of a `SolverService`.
+struct ServiceOptions {
+  /// Solver configuration applied to `submit(problem)` / `solve_all`
+  /// calls that do not carry their own options. The machine backend is
+  /// normalised to `kSerial` when `workers > 1` (see the file comment).
+  core::SublinearOptions solver;
+  /// Worker threads executing solves (0 = `hardware_concurrency`).
+  std::size_t workers = 0;
+  /// Shapes kept resident in the plan cache (LRU beyond this).
+  std::size_t plan_capacity = 32;
+  /// Session cap per plan (0 = match the worker count — more can never
+  /// run concurrently, so a larger pool would only hold dead tables).
+  std::size_t sessions_per_plan = 0;
+};
+
+/// One consistent snapshot of a service's aggregate accounting.
+struct ServiceStats {
+  std::size_t workers = 0;
+  std::uint64_t jobs_submitted = 0;  ///< `submit`s + `solve_all` instances.
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t total_iterations = 0;
+  /// Summed PRAM work/depth; 0 unless `machine.record_costs` is on.
+  std::uint64_t total_work = 0;
+  std::uint64_t total_depth = 0;
+  /// Session churn across all plans (service lifetime, eviction-proof).
+  std::uint64_t sessions_created = 0;
+  std::uint64_t session_reuses = 0;
+  PlanCacheStats plan_cache;
+};
+
+/// Concurrent plan-cached, session-pooled solver; see the file comment.
+class SolverService {
+ public:
+  explicit SolverService(ServiceOptions options = {});
+
+  /// Drains every queued job, then stops the workers. Futures obtained
+  /// from `submit` remain valid after destruction.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Asynchronously solves `problem` under the service options (or the
+  /// per-call `options` overload). The problem must stay alive until the
+  /// future is ready. Safe from any thread, including concurrently.
+  [[nodiscard]] std::future<core::SublinearResult> submit(
+      const dp::Problem& problem);
+  [[nodiscard]] std::future<core::SublinearResult> submit(
+      const dp::Problem& problem, const core::SublinearOptions& options);
+
+  /// Solves every instance, blocking until all are done. Groups by shape
+  /// for the ledger, dispatches instances across the workers, returns
+  /// results in input order — a drop-in superset of
+  /// `BatchSolver::solve_all`. Safe from any thread; must not be called
+  /// from a job running on this service (the caller blocks on capacity
+  /// its own job occupies).
+  [[nodiscard]] core::BatchResult solve_all(
+      std::span<const dp::Problem* const> problems);
+  [[nodiscard]] core::BatchResult solve_all(
+      std::span<const dp::Problem* const> problems,
+      const core::SublinearOptions& options);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Worker threads executing solves (resolved, >= 1).
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// The resident plan for shape `n` under the service options (or the
+  /// per-call overload); null when not cached. Does not touch LRU order.
+  [[nodiscard]] std::shared_ptr<const core::SolvePlan> plan_for(
+      std::size_t n) const;
+  [[nodiscard]] std::shared_ptr<const core::SolvePlan> plan_for(
+      std::size_t n, const core::SublinearOptions& options) const;
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  /// Completion rendezvous for one `solve_all` call: jobs write their
+  /// slot, add to the call ledger, and count down; the caller waits.
+  struct BatchCall;
+
+  /// One queued instance. Exactly one completion route is armed: the
+  /// promise (submit jobs) or the batch-call slot (solve_all jobs).
+  struct Job {
+    const dp::Problem* problem = nullptr;
+    core::SublinearOptions solve_options;
+    /// Pre-resolved shape for solve_all jobs (the caller accounted the
+    /// cache hit/miss per *group*); null for submit jobs, which resolve
+    /// the cache per instance on the worker.
+    std::shared_ptr<SessionPool> pool;
+    std::promise<core::SublinearResult> promise;
+    bool has_promise = false;
+    BatchCall* batch = nullptr;
+    std::size_t slot = 0;
+  };
+
+  /// Applies the `workers > 1` backend normalisation; see file comment.
+  [[nodiscard]] core::SublinearOptions normalized(
+      core::SublinearOptions options) const;
+
+  void enqueue(Job&& job);
+  void enqueue(std::deque<Job>&& jobs);
+  void worker_loop();
+  void run_job(Job& job);
+
+  ServiceOptions options_;
+  std::size_t workers_ = 1;
+  PlanCache cache_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t total_iterations_ = 0;
+  std::uint64_t total_work_ = 0;
+  std::uint64_t total_depth_ = 0;
+  std::uint64_t sessions_created_ = 0;
+  std::uint64_t session_reuses_ = 0;
+
+  /// Long-lived queue consumers. Last member: joined (and thereby done
+  /// touching every other member) before anything else is destroyed.
+  std::vector<std::thread> worker_threads_;
+};
+
+}  // namespace subdp::serve
