@@ -37,6 +37,15 @@
 //    clamp to it), so CI can smoke-run a single tiny batch row, e.g.
 //    `--json=out.json --families=matrix-chain --max-n=32`.
 //
+//    `--queue-cap=<n>` (with `--policy=block|reject`, default block)
+//    adds an overload-mode row per family: the same instances pushed
+//    through a service whose dispatch queue holds only `n` jobs, under
+//    the chosen overload policy — mode "service-admission-<policy>",
+//    kReject submitters retrying until admitted (rejection count
+//    printed). Every completed result is asserted bit-identical to the
+//    per-instance loop first, so the admission path is covered by the
+//    same differential bar as the other service rows.
+//
 // The PRAM results are about operation counts; this suite grounds the
 // simulator on actual hardware. On a machine with few cores the
 // backend speedups are correspondingly modest — the *shape* to check is
@@ -293,6 +302,7 @@ void sweep_variant(const dp::Problem& problem, const std::string& family,
 /// service_workers} and a shuffled async submission order.
 void sweep_batch(const std::string& family, std::size_t n,
                  std::size_t count, std::size_t service_workers,
+                 std::size_t queue_cap, serve::OverloadPolicy policy,
                  std::vector<SweepRow>& rows) {
   std::vector<std::unique_ptr<dp::Problem>> owned;
   owned.reserve(count);
@@ -459,6 +469,48 @@ void sweep_batch(const std::string& family, std::size_t n,
   std::printf("%-14s n=%-4zu %-7s %-15s x%zu  %10.3f ms (%u workers)\n",
               family.c_str(), n, row.variant.c_str(), row.mode.c_str(),
               count, row.wall_ms, row.workers);
+
+  // ---- Overload row: bounded queue + admission policy (--queue-cap) ----
+
+  if (queue_cap == 0) return;
+  serve::ServiceOptions admission_options;
+  admission_options.solver = options;
+  admission_options.workers = service_workers;
+  admission_options.queue_capacity = queue_cap;
+  admission_options.overload_policy = policy;
+  serve::SolverService admission(admission_options);
+  std::size_t rejections = 0;
+  const auto a0 = std::chrono::steady_clock::now();
+  std::vector<std::future<core::SublinearResult>> futures(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    // kBlock back-pressures inside submit; kReject sheds, and this
+    // (deliberately impatient) client retries until admitted so every
+    // instance still completes and the row times the full batch.
+    for (;;) {
+      try {
+        futures[k] = admission.submit(*pointers[k]);
+        break;
+      } catch (const core::AdmissionError&) {
+        ++rejections;
+        std::this_thread::yield();
+      }
+    }
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    assert_identical(futures[k].get(), k, "admission service submit");
+  }
+  const auto a1 = std::chrono::steady_clock::now();
+  SweepRow admission_row = row;
+  admission_row.mode =
+      std::string("service-admission-") + serve::to_string(policy);
+  admission_row.wall_ms =
+      std::chrono::duration<double, std::milli>(a1 - a0).count();
+  rows.push_back(admission_row);
+  std::printf(
+      "%-14s n=%-4zu %-7s %-23s x%zu  %10.3f ms (cap %zu, %zu rejection(s))\n",
+      family.c_str(), n, admission_row.variant.c_str(),
+      admission_row.mode.c_str(), count, admission_row.wall_ms, queue_cap,
+      rejections);
 }
 
 /// Comma-separated `--families=` filter; empty = all families.
@@ -477,7 +529,8 @@ std::vector<std::string> parse_family_filter(const std::string& arg) {
 
 void run_json_sweep(const std::string& path,
                     const std::vector<std::string>& family_filter,
-                    std::size_t max_n, std::size_t service_workers) {
+                    std::size_t max_n, std::size_t service_workers,
+                    std::size_t queue_cap, serve::OverloadPolicy policy) {
   // Open the output up front: the sweep takes minutes, and a bad path
   // should fail before measuring, not after.
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -536,7 +589,8 @@ void run_json_sweep(const std::string& path,
       sweep_variant(*problem, family, core::PwVariant::kDense, point,
                     backends, rows);
     }
-    sweep_batch(family, batch_n, kBatchInstances, service_workers, rows);
+    sweep_batch(family, batch_n, kBatchInstances, service_workers,
+                queue_cap, policy, rows);
   }
 
   std::fprintf(out, "{\n  \"bench\": \"walltime\",\n  \"results\": [\n");
@@ -567,6 +621,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> family_filter;
   std::size_t max_n = SIZE_MAX;
   std::size_t service_workers = 0;  // 0 = hardware_concurrency
+  std::size_t queue_cap = 0;        // 0 = no admission row
+  serve::OverloadPolicy policy = serve::OverloadPolicy::kBlock;
   int kept = 1;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--json=", 7) == 0) {
@@ -587,6 +643,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--workers must be at least 1\n");
         return 1;
       }
+    } else if (std::strncmp(argv[a], "--queue-cap=", 12) == 0) {
+      queue_cap = static_cast<std::size_t>(
+          std::strtoull(argv[a] + 12, nullptr, 10));
+      if (queue_cap < 1) {
+        std::fprintf(stderr, "--queue-cap must be at least 1\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[a], "--policy=", 9) == 0) {
+      const std::string name = argv[a] + 9;
+      if (name == "block") {
+        policy = serve::OverloadPolicy::kBlock;
+      } else if (name == "reject") {
+        policy = serve::OverloadPolicy::kReject;
+      } else {
+        std::fprintf(stderr, "--policy must be block or reject\n");
+        return 1;
+      }
     } else {
       argv[kept++] = argv[a];
     }
@@ -597,12 +670,14 @@ int main(int argc, char** argv) {
     service_workers = hw != 0 ? hw : 1;
   }
   if (!json_path.empty()) {
-    run_json_sweep(json_path, family_filter, max_n, service_workers);
+    run_json_sweep(json_path, family_filter, max_n, service_workers,
+                   queue_cap, policy);
     return 0;
   }
-  if (!family_filter.empty() || max_n != SIZE_MAX) {
+  if (!family_filter.empty() || max_n != SIZE_MAX || queue_cap != 0) {
     std::fprintf(stderr,
-                 "--families / --max-n filter the --json sweep only\n");
+                 "--families / --max-n / --queue-cap / --policy filter "
+                 "the --json sweep only\n");
     return 1;
   }
   benchmark::Initialize(&argc, argv);

@@ -16,7 +16,13 @@
 //   // one SolvePlan per (n, options) in a bounded LRU cache, pooled
 //   // sessions reset in place, instances overlapped across workers —
 //   // results bit-identical to independent solves.
+//
+// including overload behavior under admission control: a bounded
+// dispatch queue that either back-pressures (OverloadPolicy::kBlock) or
+// sheds with a typed core::AdmissionError (kReject), and per-job
+// deadlines that expire un-picked-up jobs instead of solving them.
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <future>
@@ -114,8 +120,67 @@ int main() {
               static_cast<unsigned long long>(stats.plan_cache.misses),
               static_cast<unsigned long long>(stats.session_reuses));
 
+  // Overload shape: a service with a deliberately tiny intake. The
+  // 2-deep bounded queue under kReject sheds bursts with a typed
+  // AdmissionError (a production client would back off and retry), and
+  // a job whose deadline has already passed resolves with the same
+  // error instead of occupying a worker. Whatever admission decides,
+  // the accounting is exact: every submission ends up completed,
+  // rejected, or expired — exactly once.
+  subdp::serve::ServiceOptions overload_options;
+  overload_options.workers = 1;
+  overload_options.queue_capacity = 2;
+  overload_options.overload_policy = subdp::serve::OverloadPolicy::kReject;
+  subdp::serve::SolverService bounded(overload_options);
+
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::vector<std::future<subdp::core::SublinearResult>> burst;
+  for (const auto* p : instances) {
+    try {
+      burst.push_back(bounded.submit(*p));
+      ++accepted;
+    } catch (const subdp::core::AdmissionError&) {
+      ++rejected;  // queue full: shed instead of queueing unboundedly
+    }
+  }
+  for (auto& f : burst) (void)f.get();  // admitted jobs all complete
+
+  // The queue is drained now, so this deadline-carrying submit is
+  // admitted — but its deadline already passed, so the worker expires
+  // it at pickup without a single f() evaluation.
+  auto doomed = bounded.submit(
+      stream.front(),
+      std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  bool deadline_expired = false;
+  try {
+    (void)doomed.get();
+  } catch (const subdp::core::AdmissionError& e) {
+    deadline_expired =
+        e.kind() == subdp::core::AdmissionError::Kind::kDeadlineExceeded;
+  }
+
+  const subdp::serve::ServiceStats bounded_stats = bounded.stats();
+  std::printf("\n  overload (cap 2) : %zu accepted, %zu rejected, "
+              "expired deadline %s\n",
+              accepted, rejected, deadline_expired ? "shed" : "LOST");
+  std::printf("  admission ledger : %llu submitted == %llu completed + "
+              "%llu rejected + %llu expired\n",
+              static_cast<unsigned long long>(bounded_stats.jobs_submitted),
+              static_cast<unsigned long long>(bounded_stats.jobs_completed),
+              static_cast<unsigned long long>(bounded_stats.jobs_rejected),
+              static_cast<unsigned long long>(bounded_stats.jobs_expired));
+
+  const bool admission_ok =
+      deadline_expired && accepted + rejected == instances.size() &&
+      bounded_stats.jobs_expired == 1 &&
+      bounded_stats.jobs_submitted == bounded_stats.jobs_completed +
+                                          bounded_stats.jobs_rejected +
+                                          bounded_stats.jobs_expired;
+
   const bool serve_ok = async_matches && out.ledger.plans_built == 1 &&
                         out.results.size() == 8 &&
                         stats.jobs_completed == 16;
-  return solution.cost == 15125 && serve_ok ? 0 : 1;  // textbook answer
+  // textbook answer, intact serving + admission contracts
+  return solution.cost == 15125 && serve_ok && admission_ok ? 0 : 1;
 }

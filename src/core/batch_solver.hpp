@@ -16,9 +16,16 @@
 /// stream one at a time through the single worker thread, and (one-worker
 /// services skip the serial-backend normalisation) each solve still runs
 /// the machine backend configured in the options, exactly as before the
-/// facade. Workloads that want instances *overlapped* across cores, an
-/// async `submit` future API, or a bounded plan cache with eviction stats
-/// should hold a `serve::SolverService` directly.
+/// facade. The service's admission-control layer does not change any of
+/// this: the facade keeps the unbounded-queue default, and `solve_all`
+/// jobs are exempt from load shedding by construction — they carry no
+/// deadline (so none can expire) and are never rejected (a bounded
+/// queue back-pressures the calling thread instead), so the ledger and
+/// the bit-identity contract hold under every service configuration
+/// (tests/test_core_batch.cpp pins this down). Workloads that want
+/// instances *overlapped* across cores, an async `submit` future API
+/// with deadlines and overload policies, or a bounded plan cache with
+/// eviction stats should hold a `serve::SolverService` directly.
 ///
 /// ```
 /// core::BatchSolver batch;                       // banded defaults

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -129,6 +130,35 @@ struct SublinearResult {
   support::Grid2D<Cost> w;
   std::vector<IterationTrace> trace;
 };
+
+/// Typed failure raised by the serving layer's admission control when a
+/// job is declined or abandoned *without solving*: the dispatch queue was
+/// full under the reject policy, or the job's deadline passed before a
+/// worker picked it up. Queue-full rejections are thrown synchronously
+/// from `serve::SolverService::submit`; deadline expiries arrive through
+/// the job's future. Solver-side failures (invalid options, bad inputs)
+/// keep their own types — catching `AdmissionError` selects exactly the
+/// load-shedding outcomes.
+class AdmissionError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kQueueFull,          ///< Bounded queue at capacity under `kReject`.
+    kDeadlineExceeded,   ///< Deadline passed before a worker picked it up.
+  };
+
+  AdmissionError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+[[nodiscard]] constexpr const char* to_string(AdmissionError::Kind k) noexcept {
+  return k == AdmissionError::Kind::kQueueFull ? "queue-full"
+                                               : "deadline-exceeded";
+}
 
 /// Aggregate accounting for one `solve_all` call (`BatchSolver` and
 /// `serve::SolverService` both report through this).

@@ -48,6 +48,54 @@ std::shared_ptr<SessionPool> PlanCache::acquire(
       insert_mru(key, slot);
     }
   }
+  return finish_build(key, slot, n, options);
+}
+
+std::shared_ptr<SessionPool> PlanCache::try_acquire(
+    std::size_t n, const core::SublinearOptions& options, PlanState* state) {
+  const PlanKey key = PlanKey::make(n, options);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (it->second->slot->pool != nullptr) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // MRU bump
+      if (state != nullptr) *state = PlanState::kReady;
+      return it->second->slot->pool;
+    }
+    // Mid-build: the placeholder's insertion already counted the miss.
+    if (state != nullptr) *state = PlanState::kBuilding;
+    return nullptr;
+  }
+  ++misses_;
+  insert_mru(key, std::make_shared<Slot>());
+  if (state != nullptr) *state = PlanState::kBuilding;
+  return nullptr;
+}
+
+std::shared_ptr<SessionPool> PlanCache::build(
+    std::size_t n, const core::SublinearOptions& options) {
+  const PlanKey key = PlanKey::make(n, options);
+  std::shared_ptr<Slot> slot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      slot = it->second->slot;
+    } else {
+      // The placeholder this call owes its existence to was dropped (a
+      // failed same-key build) or evicted at capacity. Re-insert without
+      // counting: the deferring `try_acquire` already recorded the miss.
+      slot = std::make_shared<Slot>();
+      insert_mru(key, slot);
+    }
+  }
+  return finish_build(key, slot, n, options);
+}
+
+std::shared_ptr<SessionPool> PlanCache::finish_build(
+    const PlanKey& key, const std::shared_ptr<Slot>& slot, std::size_t n,
+    const core::SublinearOptions& options) {
   // The expensive O(n^2 B^2) build happens here, with the cache-wide
   // lock released: only same-key requesters block (on build_mutex) and
   // then share the finished pool.

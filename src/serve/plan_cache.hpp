@@ -30,6 +30,19 @@
 /// under a *per-entry* lock with the cache lock released — so a cold
 /// build only blocks concurrent requests for the *same* key (which then
 /// share the one build), never hits, peeks or stats on other keys.
+///
+/// Async build handoff: `acquire` is the blocking all-in-one path
+/// (lookup + build). For callers that must never block on a build — a
+/// `SolverService` worker keeping warm traffic flowing — `try_acquire`
+/// is the non-blocking first half: a built entry is a plain hit; a cold
+/// or still-building key records the miss (once, on placeholder
+/// insertion), reports `PlanState::kBuilding` and returns null without
+/// touching the per-entry build lock. The caller then owes the blocking
+/// second half, `build`, from whatever thread it dedicates to builds
+/// (the service's background builder): it performs — or waits on and
+/// shares — the one build for that key, recording no further hit/miss,
+/// so N concurrent cold requests for one key still count exactly one
+/// miss and trigger exactly one build.
 
 #include <cstddef>
 #include <cstdint>
@@ -76,6 +89,12 @@ struct PlanKey {
   }
 };
 
+/// Build state of one cached key, as observed by `try_acquire`.
+enum class PlanState {
+  kReady,     ///< Plan built; the returned pool serves it.
+  kBuilding,  ///< Cold or mid-build; resolve it later via `build`.
+};
+
 /// One consistent snapshot of the cache's counters.
 struct PlanCacheStats {
   std::size_t capacity = 0;
@@ -98,6 +117,24 @@ class PlanCache {
   [[nodiscard]] std::shared_ptr<SessionPool> acquire(
       std::size_t n, const core::SublinearOptions& options,
       bool* built = nullptr);
+
+  /// Non-blocking lookup (never builds, never waits on a build lock).
+  /// A built resident key is a hit: MRU bump, `*state = kReady`, pool
+  /// returned. Otherwise `*state = kBuilding` and null is returned — a
+  /// fresh key records one miss and inserts the building placeholder; a
+  /// key already mid-build records nothing (its miss was counted when
+  /// the placeholder went in). See the file comment's handoff protocol.
+  [[nodiscard]] std::shared_ptr<SessionPool> try_acquire(
+      std::size_t n, const core::SublinearOptions& options,
+      PlanState* state = nullptr);
+
+  /// Blocking second half of a `try_acquire` that reported `kBuilding`:
+  /// builds the plan (or waits on the in-flight build and shares its
+  /// pool). Records no hit/miss — the `try_acquire` that deferred here
+  /// already did. Safe to call for a key that has meanwhile finished
+  /// (returns the warm pool) or been evicted (rebuilds and re-inserts).
+  [[nodiscard]] std::shared_ptr<SessionPool> build(
+      std::size_t n, const core::SublinearOptions& options);
 
   /// The resident plan for `(n, options)`, or null — no stats recorded,
   /// no LRU reordering (diagnostic lookups, `BatchSolver::plan_for`).
@@ -129,6 +166,15 @@ class PlanCache {
   /// Inserts as most-recently-used and evicts down to capacity.
   /// Requires `mutex_` held.
   void insert_mru(const PlanKey& key, std::shared_ptr<Slot> slot);
+
+  /// The expensive half shared by `acquire` and `build`: takes `slot`'s
+  /// build lock, constructs the pool if this caller wins the build (or
+  /// returns the pool a concurrent winner left), drops the placeholder
+  /// on a failed build and re-inserts the entry if it was dropped or
+  /// evicted mid-build. Requires `mutex_` *not* held.
+  [[nodiscard]] std::shared_ptr<SessionPool> finish_build(
+      const PlanKey& key, const std::shared_ptr<Slot>& slot, std::size_t n,
+      const core::SublinearOptions& options);
 
   std::size_t capacity_;
   std::size_t sessions_per_plan_;

@@ -1,6 +1,7 @@
 #include "serve/solver_service.hpp"
 
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -47,6 +48,7 @@ SolverService::SolverService(ServiceOptions options)
              options_.sessions_per_plan != 0 ? options_.sessions_per_plan
                                              : workers_) {
   options_.solver = normalized(options_.solver);
+  builder_thread_ = std::thread([this] { builder_loop(); });
   worker_threads_.reserve(workers_);
   for (std::size_t w = 0; w < workers_; ++w) {
     worker_threads_.emplace_back([this] { worker_loop(); });
@@ -54,9 +56,31 @@ SolverService::SolverService(ServiceOptions options)
 }
 
 SolverService::~SolverService() {
+  // Shutdown choreography (see the header's lifecycle contract):
+  // 1. close intake — late calls fail loudly, blocked kBlock submitters
+  //    wake and fail the same way, and solve_all fills mid-flight stop
+  //    back-pressuring and push their remainder (waited for below, so
+  //    their jobs are queued before any worker may exit);
+  // 2. join the builder, which finishes building and requeues every
+  //    deferred job (cold jobs dequeued by workers from here on are
+  //    built inline — defer_to_builder refuses after builder_stop_);
+  // 3. only then let workers exit on an empty queue, so every admitted
+  //    job is drained — solved or expired — before threads die.
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    queue_not_full_.notify_all();
+    batch_fills_done_.wait(lock, [&] { return batch_fills_ == 0; });
+  }
+  {
+    const std::lock_guard<std::mutex> lock(builder_mutex_);
+    builder_stop_ = true;
+  }
+  builder_cv_.notify_all();
+  builder_thread_.join();
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
-    stopping_ = true;
+    workers_exit_ = true;
   }
   queue_cv_.notify_all();
   for (std::thread& worker : worker_threads_) {
@@ -66,15 +90,34 @@ SolverService::~SolverService() {
 
 std::future<core::SublinearResult> SolverService::submit(
     const dp::Problem& problem) {
-  return submit(problem, options_.solver);
+  return submit_job(problem, options_.solver, false, Deadline{});
 }
 
 std::future<core::SublinearResult> SolverService::submit(
     const dp::Problem& problem, const core::SublinearOptions& options) {
+  return submit_job(problem, options, false, Deadline{});
+}
+
+std::future<core::SublinearResult> SolverService::submit(
+    const dp::Problem& problem, Deadline deadline) {
+  return submit_job(problem, options_.solver, true, deadline);
+}
+
+std::future<core::SublinearResult> SolverService::submit(
+    const dp::Problem& problem, const core::SublinearOptions& options,
+    Deadline deadline) {
+  return submit_job(problem, options, true, deadline);
+}
+
+std::future<core::SublinearResult> SolverService::submit_job(
+    const dp::Problem& problem, const core::SublinearOptions& options,
+    bool has_deadline, Deadline deadline) {
   Job job;
   job.problem = &problem;
   job.solve_options = normalized(options);
   job.has_promise = true;
+  job.has_deadline = has_deadline;
+  job.deadline = deadline;
   std::future<core::SublinearResult> future = job.promise.get_future();
   enqueue(std::move(job));
   return future;
@@ -113,7 +156,8 @@ core::BatchResult SolverService::solve_all(
   for (const auto& [n, indices] : groups) {
     bool built = false;
     // Resolving on the caller thread (not per job on a worker) keeps the
-    // per-call ledger exact: one hit or miss per shape group.
+    // per-call ledger exact — one hit or miss per shape group — and the
+    // builder thread free for async cold traffic.
     std::shared_ptr<SessionPool> pool = cache_.acquire(n, opts, &built);
     if (built) {
       ++out.ledger.plans_built;
@@ -127,7 +171,8 @@ core::BatchResult SolverService::solve_all(
       job.pool = pool;
       job.batch = &call;
       job.slot = idx;
-      jobs.push_back(std::move(job));
+      jobs.push_back(std::move(job));  // no deadline: batch jobs bypass
+                                       // expiry by construction
     }
   }
   enqueue(std::move(jobs));
@@ -145,9 +190,31 @@ core::BatchResult SolverService::solve_all(
 
 void SolverService::enqueue(Job&& job) {
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::unique_lock<std::mutex> lock(queue_mutex_);
     SUBDP_REQUIRE(!stopping_,
                   "SolverService::submit/solve_all after shutdown began");
+    const std::size_t cap = options_.queue_capacity;
+    if (cap != 0 && queue_.size() >= cap) {
+      if (options_.overload_policy == OverloadPolicy::kReject) {
+        // Rejected submissions still count as submitted, so the
+        // admission invariant (submitted == completed + rejected +
+        // expired) holds without a separate denominator.
+        const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++jobs_submitted_;
+        ++jobs_rejected_;
+        throw core::AdmissionError(
+            core::AdmissionError::Kind::kQueueFull,
+            "SolverService::submit: dispatch queue full (" +
+                std::to_string(cap) + " jobs) under OverloadPolicy::kReject");
+      }
+      // kBlock: back-pressure the submitter until a worker drains a
+      // slot. A shutdown racing this wait is a lifecycle misuse; fail
+      // it with the same diagnostic as a late submit.
+      queue_not_full_.wait(
+          lock, [&] { return queue_.size() < cap || stopping_; });
+      SUBDP_REQUIRE(!stopping_,
+                    "SolverService::submit/solve_all after shutdown began");
+    }
     {
       // Counted *before* the job becomes visible, so `stats()` can never
       // observe jobs_completed > jobs_submitted.
@@ -161,18 +228,50 @@ void SolverService::enqueue(Job&& job) {
 
 void SolverService::enqueue(std::deque<Job>&& jobs) {
   const std::size_t count = jobs.size();
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  SUBDP_REQUIRE(!stopping_,
+                "SolverService::submit/solve_all after shutdown began");
+  // Registered in the same critical section as the REQUIRE, so a
+  // concurrent destructor either rejects this call up front or waits
+  // for the whole fill; see the destructor's choreography.
+  ++batch_fills_;
+  {
+    // Counted *before* the jobs become visible; see the overload above.
+    const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    jobs_submitted_ += count;
+  }
+  const std::size_t cap = options_.queue_capacity;
+  for (Job& job : jobs) {
+    if (cap != 0 && !stopping_ && queue_.size() >= cap) {
+      // Batch jobs are never shed: at capacity the solve_all caller
+      // blocks here while workers drain ahead of it, whatever the
+      // overload policy (the blocking surface is its own back-pressure).
+      // A shutdown racing a mid-batch fill stops back-pressuring and
+      // enqueues the remainder: the destructor waits for this fill to
+      // finish before workers may exit, so its drain completes every
+      // queued job and the caller's BatchCall resolves normally.
+      queue_cv_.notify_all();  // wake workers to drain what is queued
+      queue_not_full_.wait(
+          lock, [&] { return queue_.size() < cap || stopping_; });
+    }
+    queue_.push_back(std::move(job));
+  }
+  --batch_fills_;
+  if (batch_fills_ == 0) batch_fills_done_.notify_all();
+  lock.unlock();
+  queue_cv_.notify_all();  // the jobs are visible; wake every worker
+}
+
+void SolverService::requeue(Job&& job) {
+  // Builder-resolved jobs re-enter past the capacity check: they were
+  // admitted (and counted) when first enqueued, and blocking the
+  // builder on queue space would stall every other cold shape behind an
+  // already-admitted job.
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
-    SUBDP_REQUIRE(!stopping_,
-                  "SolverService::submit/solve_all after shutdown began");
-    {
-      // Counted *before* the jobs become visible; see the overload above.
-      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      jobs_submitted_ += count;
-    }
-    for (Job& job : jobs) queue_.push_back(std::move(job));
+    queue_.push_back(std::move(job));
   }
-  queue_cv_.notify_all();
+  queue_cv_.notify_one();
 }
 
 void SolverService::worker_loop() {
@@ -180,21 +279,92 @@ void SolverService::worker_loop() {
     Job job;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, and fully drained
+      queue_cv_.wait(lock,
+                     [&] { return workers_exit_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // exiting, and fully drained
       job = std::move(queue_.front());
       queue_.pop_front();
+    }
+    if (options_.queue_capacity != 0) {
+      // A slot freed: wake every parked submitter/batch-filler — the
+      // first through the lock takes it, the rest re-wait.
+      queue_not_full_.notify_all();
+    }
+    // Deadline gate at pickup (every pickup, including after a cold
+    // handoff): an expired job resolves without touching the problem.
+    if (job.has_deadline &&
+        std::chrono::steady_clock::now() >= job.deadline) {
+      expire_job(job);
+      continue;
+    }
+    if (job.pool == nullptr) {
+      // submit() path: resolve the shape here, off the caller's thread.
+      // Warm shapes attach their pool without blocking; cold (or still
+      // mid-build) shapes go to the builder so this worker keeps
+      // draining warm work.
+      PlanState state = PlanState::kReady;
+      std::shared_ptr<SessionPool> pool = cache_.try_acquire(
+          job.problem->size(), job.solve_options, &state);
+      if (pool == nullptr) {
+        if (defer_to_builder(std::move(job))) continue;
+        // Builder already stopped (destructor drain): fall through and
+        // let run_job build inline — there is no warm traffic left to
+        // protect.
+      } else {
+        job.pool = std::move(pool);
+      }
     }
     run_job(job);
   }
 }
 
+bool SolverService::defer_to_builder(Job&& job) {
+  {
+    const std::lock_guard<std::mutex> lock(builder_mutex_);
+    if (builder_stop_) return false;
+    {
+      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++jobs_cold_deferred_;
+    }
+    builder_queue_.push_back(std::move(job));
+  }
+  builder_cv_.notify_one();
+  return true;
+}
+
+void SolverService::builder_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(builder_mutex_);
+      builder_cv_.wait(
+          lock, [&] { return builder_stop_ || !builder_queue_.empty(); });
+      if (builder_queue_.empty()) return;  // stopping, and fully drained
+      job = std::move(builder_queue_.front());
+      builder_queue_.pop_front();
+    }
+    if (options_.cold_build_hook) options_.cold_build_hook();
+    try {
+      // Concurrent cold jobs for one key serialise here on the cache's
+      // per-entry build lock and share the single build (the deferring
+      // try_acquire already counted the one miss).
+      job.pool = cache_.build(job.problem->size(), job.solve_options);
+    } catch (...) {
+      // Plan validation failed: the job's future carries the error,
+      // exactly as when workers built inline.
+      fail_job(job, std::current_exception());
+      continue;
+    }
+    requeue(std::move(job));
+  }
+}
+
 void SolverService::run_job(Job& job) {
   try {
-    std::shared_ptr<SessionPool> pool = job.pool;
+    std::shared_ptr<SessionPool> pool = std::move(job.pool);
     if (pool == nullptr) {
-      // submit() path: resolve the shape here, off the caller's thread.
-      pool = cache_.acquire(job.problem->size(), job.solve_options);
+      // Shutdown-tail cold job (builder already joined): build inline.
+      pool = cache_.build(job.problem->size(), job.solve_options);
     }
     SessionPool::Lease lease = pool->acquire();
     const bool fresh = lease.fresh();
@@ -234,17 +404,37 @@ void SolverService::run_job(Job& job) {
       job.promise.set_value(std::move(result));
     }
   } catch (...) {
-    {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++jobs_completed_;
-    }
-    if (job.batch != nullptr) {
-      const std::lock_guard<std::mutex> lock(job.batch->mutex);
-      if (!job.batch->error) job.batch->error = std::current_exception();
-      if (--job.batch->remaining == 0) job.batch->done.notify_all();
-    } else if (job.has_promise) {
-      job.promise.set_exception(std::current_exception());
-    }
+    fail_job(job, std::current_exception());
+  }
+}
+
+void SolverService::expire_job(Job& job) {
+  // solve_all never arms deadlines, so an expiring job always resolves
+  // through its promise — the batch ledger cannot be torn by expiry.
+  SUBDP_ASSERT(job.batch == nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++jobs_expired_;
+  }
+  if (job.has_promise) {
+    job.promise.set_exception(std::make_exception_ptr(core::AdmissionError(
+        core::AdmissionError::Kind::kDeadlineExceeded,
+        "SolverService: job deadline passed before a worker picked it "
+        "up")));
+  }
+}
+
+void SolverService::fail_job(Job& job, std::exception_ptr error) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++jobs_completed_;
+  }
+  if (job.batch != nullptr) {
+    const std::lock_guard<std::mutex> lock(job.batch->mutex);
+    if (!job.batch->error) job.batch->error = error;
+    if (--job.batch->remaining == 0) job.batch->done.notify_all();
+  } else if (job.has_promise) {
+    job.promise.set_exception(error);
   }
 }
 
@@ -255,6 +445,9 @@ ServiceStats SolverService::stats() const {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     out.jobs_submitted = jobs_submitted_;
     out.jobs_completed = jobs_completed_;
+    out.jobs_rejected = jobs_rejected_;
+    out.jobs_expired = jobs_expired_;
+    out.jobs_cold_deferred = jobs_cold_deferred_;
     out.total_iterations = total_iterations_;
     out.total_work = total_work_;
     out.total_depth = total_depth_;

@@ -2,7 +2,8 @@
 
 /// \file solver_service.hpp
 /// The concurrent serving front door: many independent DP instances,
-/// overlapped across worker threads, behind one long-lived object.
+/// overlapped across worker threads, behind one long-lived object —
+/// with admission control at the intake.
 ///
 /// Everything below `SolverService` exists to make this safe and cheap:
 /// immutable `SolvePlan`s shared across any number of sessions, a bounded
@@ -22,20 +23,83 @@
 /// needs no barriers per macro-step, and keeps every worker's tables hot
 /// in its own cache.
 ///
-/// Two submission surfaces share one dispatch queue:
-///  * `solve_all(problems)` — blocking, a drop-in superset of
-///    `BatchSolver::solve_all` (which is now a thin `workers = 1` facade
-///    over this service): groups by shape, reports the same `BatchResult`
-///    ledger, returns results in input order.
-///  * `submit(problem)` — asynchronous: enqueues one instance and returns
-///    a `std::future<SublinearResult>`; an overload takes per-call
-///    `SublinearOptions`, exercising the cache's `(n, options)` keying.
+/// ## Admission control
 ///
-/// Determinism: a solve is a pure function of `(problem, plan)` — sessions
-/// share nothing mutable, the queue only changes *when* an instance runs,
-/// never *what* it computes — so results are bit-identical to independent
-/// `core::solve` calls for every worker count and submission order (the
-/// serve test suite and the walltime bench assert this).
+/// The dispatch queue is bounded (`ServiceOptions::queue_capacity`;
+/// 0 = unbounded, the legacy default). When the queue is full,
+/// `overload_policy` decides what `submit` does:
+///  * `OverloadPolicy::kBlock` — back-pressure: the submitting thread
+///    waits until a worker drains a slot, then enqueues. No job is ever
+///    turned away; memory stays bounded by `queue_capacity`.
+///  * `OverloadPolicy::kReject` — load shedding: `submit` throws
+///    `core::AdmissionError` (`Kind::kQueueFull`) synchronously and the
+///    job is never queued. The rejection is counted in
+///    `ServiceStats::jobs_rejected` (and in `jobs_submitted`, so
+///    `jobs_submitted == jobs_completed + jobs_rejected + jobs_expired`
+///    holds once the queue drains).
+///
+/// Jobs may also carry a **deadline** (`submit` overloads taking a
+/// `Deadline`, a `std::chrono::steady_clock` time point). Deadlines are
+/// checked when a worker *picks the job up* (every pickup, including the
+/// one after a cold-build handoff, see below): a job whose deadline has
+/// passed resolves its future with `core::AdmissionError`
+/// (`Kind::kDeadlineExceeded`) without touching the problem — no
+/// session, no plan, not one `f()` call — and counts in
+/// `ServiceStats::jobs_expired`. There is no timer thread: a queued job
+/// whose deadline passes is expired lazily at dequeue, which is always
+/// "before a worker would have solved it".
+///
+/// The blocking surface `solve_all` participates differently, by
+/// design: its jobs carry **no deadlines** (the call blocks until every
+/// instance is solved; per-job expiry would tear the ledger and the
+/// input-order result contract) and it **never rejects** — at capacity
+/// it back-pressures the *calling* thread while workers drain,
+/// whatever the overload policy. `BatchSolver` therefore keeps its
+/// exact pre-service semantics under the new defaults.
+///
+/// ## The background plan builder
+///
+/// Building a plan is the expensive cold-start step (O(n^2 B^2) entry
+/// lists and offset tables). Workers never build: on dequeueing a job
+/// whose `(n, options)` shape is cold (or still mid-build), the worker
+/// hands the job to the service's dedicated **builder thread**
+/// (`ServiceStats::jobs_cold_deferred`) and immediately goes back to
+/// draining warm work — one giant cold shape can no longer stall a
+/// solve worker. The builder resolves the shape through
+/// `PlanCache::build` (concurrent cold jobs for one key share a single
+/// build and count a single cache miss), then requeues the job — pool
+/// attached, admission not re-run — for any worker to solve. Plan
+/// validation errors surface through the job's future, exactly as they
+/// did when workers built inline.
+///
+/// ## Thread-safety & lifecycle contract
+///
+///  * `submit`, `solve_all`, `stats`, `plan_for` may be called from any
+///    thread, concurrently. `solve_all` must not be called from a job
+///    running on this service (the caller would block on capacity its
+///    own job occupies).
+///  * Plans are immutable and shared; sessions are strictly per-worker
+///    (leased for exactly one solve); `dp::Problem` implementations
+///    must tolerate concurrent const calls (problem.hpp contract). A
+///    submitted problem must stay alive until its future is ready.
+///  * Destruction: the destructor first closes intake (late `submit` /
+///    `solve_all` calls fail a `SUBDP_REQUIRE`; `kBlock` submitters
+///    still waiting for space are woken and fail the same way, while a
+///    `solve_all` caught mid-fill stops back-pressuring and finishes
+///    queueing — the destructor waits for it, so the call completes
+///    normally), then joins the builder (which finishes building and
+///    requeues every deferred job), then the workers, which drain every
+///    queued job — solving admitted work, expiring what is past its
+///    deadline. Every future obtained from `submit` is therefore
+///    resolved — value, solver error, or `AdmissionError` — and remains
+///    valid after destruction; no promise is ever broken.
+///  * Determinism: admission decides *whether and when* a job runs,
+///    never *what* it computes. A solve is a pure function of
+///    `(problem, plan)`, so every admitted job's result is bit-identical
+///    to an independent `core::solve` for every worker count, queue
+///    capacity, overload policy and submission order (the serve test
+///    suite — including the differential fuzz harness — and the
+///    walltime bench assert this).
 ///
 /// When the service runs more than one worker, sessions normalise the
 /// machine backend to `kSerial`: the inner engine must not issue
@@ -49,16 +113,26 @@
 /// `(n, options)` key space is not split by ignored backend choices.
 ///
 /// ```
-/// serve::SolverService service;                  // hardware workers
-/// auto future = service.submit(problem);         // async
-/// auto batch  = service.solve_all(instances);    // blocking, ordered
-/// auto stats  = service.stats();                 // cache + pool + ledger
+/// serve::ServiceOptions opts;
+/// opts.queue_capacity = 64;                      // bounded intake
+/// opts.overload_policy = serve::OverloadPolicy::kReject;
+/// serve::SolverService service(opts);
+/// auto future = service.submit(problem);         // async; may throw
+///                                                // AdmissionError
+/// auto timed  = service.submit(problem,          // with a deadline
+///     std::chrono::steady_clock::now() + std::chrono::seconds(2));
+/// auto batch  = service.solve_all(instances);    // blocking, ordered,
+///                                                // never shed
+/// auto stats  = service.stats();                 // cache + pool +
+///                                                // admission ledger
 /// ```
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -73,6 +147,20 @@
 
 namespace subdp::serve {
 
+/// What a full dispatch queue does to `submit`; see the file comment.
+enum class OverloadPolicy {
+  kBlock,   ///< Back-pressure: the submitter waits for a free slot.
+  kReject,  ///< Load shedding: `submit` throws `core::AdmissionError`.
+};
+
+[[nodiscard]] constexpr const char* to_string(OverloadPolicy p) noexcept {
+  return p == OverloadPolicy::kBlock ? "block" : "reject";
+}
+
+/// Per-job deadline: a job not picked up by a worker before this instant
+/// resolves with `core::AdmissionError` instead of solving.
+using Deadline = std::chrono::steady_clock::time_point;
+
 /// Configuration of a `SolverService`.
 struct ServiceOptions {
   /// Solver configuration applied to `submit(problem)` / `solve_all`
@@ -86,13 +174,37 @@ struct ServiceOptions {
   /// Session cap per plan (0 = match the worker count — more can never
   /// run concurrently, so a larger pool would only hold dead tables).
   std::size_t sessions_per_plan = 0;
+  /// Maximal jobs *waiting* in the dispatch queue (jobs in flight on
+  /// workers or parked at the builder do not count); 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  /// What `submit` does when the queue is full. `solve_all` always
+  /// back-pressures its caller regardless of this policy.
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Instrumentation/test seam: when set, invoked on the builder thread
+  /// before each cold-build it resolves (admission tests gate this to
+  /// hold the builder busy deterministically). Leave empty in
+  /// production.
+  std::function<void()> cold_build_hook;
 };
 
 /// One consistent snapshot of a service's aggregate accounting.
+///
+/// Admission invariant: once the queue has drained (e.g. after the
+/// destructor, or when all outstanding futures are ready),
+/// `jobs_submitted == jobs_completed + jobs_rejected + jobs_expired`.
 struct ServiceStats {
   std::size_t workers = 0;
-  std::uint64_t jobs_submitted = 0;  ///< `submit`s + `solve_all` instances.
-  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_submitted = 0;  ///< `submit`s (incl. rejected) +
+                                     ///< `solve_all` instances.
+  std::uint64_t jobs_completed = 0;  ///< Solved, or failed in the solver
+                                     ///< (the future carries the error).
+  std::uint64_t jobs_rejected = 0;   ///< Turned away at a full queue
+                                     ///< under `kReject`.
+  std::uint64_t jobs_expired = 0;    ///< Deadline passed before pickup.
+  /// Jobs handed to the builder thread because their shape was cold (or
+  /// still mid-build). Concurrent cold jobs for one key each count here
+  /// but share a single build (one cache miss).
+  std::uint64_t jobs_cold_deferred = 0;
   std::uint64_t total_iterations = 0;
   /// Summed PRAM work/depth; 0 unless `machine.record_costs` is on.
   std::uint64_t total_work = 0;
@@ -103,32 +215,45 @@ struct ServiceStats {
   PlanCacheStats plan_cache;
 };
 
-/// Concurrent plan-cached, session-pooled solver; see the file comment.
+/// Concurrent plan-cached, session-pooled solver with admission control;
+/// see the file comment.
 class SolverService {
  public:
   explicit SolverService(ServiceOptions options = {});
 
-  /// Drains every queued job, then stops the workers. Futures obtained
-  /// from `submit` remain valid after destruction.
+  /// Drains every queued job (solving or expiring it), then stops the
+  /// builder and the workers. Futures obtained from `submit` are all
+  /// resolved and remain valid after destruction.
   ~SolverService();
 
   SolverService(const SolverService&) = delete;
   SolverService& operator=(const SolverService&) = delete;
 
   /// Asynchronously solves `problem` under the service options (or the
-  /// per-call `options` overload). The problem must stay alive until the
-  /// future is ready. Safe from any thread, including concurrently.
+  /// per-call `options` overload), optionally bounded by `deadline`.
+  /// The problem must stay alive until the future is ready. Safe from
+  /// any thread, including concurrently. With a bounded queue this may
+  /// block (`kBlock`) or throw `core::AdmissionError` (`kReject`); a
+  /// job whose deadline passes before pickup resolves its future with
+  /// `core::AdmissionError` instead of solving.
   [[nodiscard]] std::future<core::SublinearResult> submit(
       const dp::Problem& problem);
   [[nodiscard]] std::future<core::SublinearResult> submit(
       const dp::Problem& problem, const core::SublinearOptions& options);
+  [[nodiscard]] std::future<core::SublinearResult> submit(
+      const dp::Problem& problem, Deadline deadline);
+  [[nodiscard]] std::future<core::SublinearResult> submit(
+      const dp::Problem& problem, const core::SublinearOptions& options,
+      Deadline deadline);
 
   /// Solves every instance, blocking until all are done. Groups by shape
   /// for the ledger, dispatches instances across the workers, returns
   /// results in input order — a drop-in superset of
-  /// `BatchSolver::solve_all`. Safe from any thread; must not be called
-  /// from a job running on this service (the caller blocks on capacity
-  /// its own job occupies).
+  /// `BatchSolver::solve_all`. Batch jobs bypass admission shedding:
+  /// they carry no deadline and are never rejected (at capacity the
+  /// *caller* blocks while workers drain). Safe from any thread; must
+  /// not be called from a job running on this service (the caller
+  /// blocks on capacity its own job occupies).
   [[nodiscard]] core::BatchResult solve_all(
       std::span<const dp::Problem* const> problems);
   [[nodiscard]] core::BatchResult solve_all(
@@ -161,24 +286,51 @@ class SolverService {
   struct Job {
     const dp::Problem* problem = nullptr;
     core::SublinearOptions solve_options;
-    /// Pre-resolved shape for solve_all jobs (the caller accounted the
-    /// cache hit/miss per *group*); null for submit jobs, which resolve
-    /// the cache per instance on the worker.
+    /// Pre-resolved shape: set by the solve_all caller (which accounted
+    /// the cache hit/miss per *group*) or by the builder after a cold
+    /// handoff; null for warm-path submit jobs until the worker's
+    /// `try_acquire` fills it in.
     std::shared_ptr<SessionPool> pool;
     std::promise<core::SublinearResult> promise;
     bool has_promise = false;
     BatchCall* batch = nullptr;
     std::size_t slot = 0;
+    /// Expiry instant; only submit jobs carry one (`has_deadline`).
+    bool has_deadline = false;
+    Deadline deadline{};
   };
 
   /// Applies the `workers > 1` backend normalisation; see file comment.
   [[nodiscard]] core::SublinearOptions normalized(
       core::SublinearOptions options) const;
 
+  [[nodiscard]] std::future<core::SublinearResult> submit_job(
+      const dp::Problem& problem, const core::SublinearOptions& options,
+      bool has_deadline, Deadline deadline);
+
+  /// Admission for one submit job: counts the submission, applies the
+  /// bounded-queue policy (throws `AdmissionError` under `kReject`,
+  /// waits for a slot under `kBlock`), enqueues.
   void enqueue(Job&& job);
+  /// Admission for a solve_all group: counts every instance up front,
+  /// then enqueues each, back-pressuring the caller at capacity (batch
+  /// jobs are never rejected).
   void enqueue(std::deque<Job>&& jobs);
+  /// Returns a builder-resolved job to the dispatch queue. No admission
+  /// and no counting: the job was admitted when first enqueued.
+  void requeue(Job&& job);
+
   void worker_loop();
+  void builder_loop();
+  /// Hands a cold job to the builder thread; after the builder has been
+  /// stopped (destructor drain), the caller builds inline instead.
+  /// Returns true when the job was handed off.
+  [[nodiscard]] bool defer_to_builder(Job&& job);
   void run_job(Job& job);
+  /// Resolves a job whose deadline passed before pickup; never solves.
+  void expire_job(Job& job);
+  /// Completion bookkeeping for a job that failed before/while solving.
+  void fail_job(Job& job, std::exception_ptr error);
 
   ServiceOptions options_;
   std::size_t workers_ = 1;
@@ -186,18 +338,41 @@ class SolverService {
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
+  /// Signalled when a worker frees a queue slot (bounded queue only).
+  std::condition_variable queue_not_full_;
   std::deque<Job> queue_;
+  /// Intake closed: late submit/solve_all calls fail a SUBDP_REQUIRE.
   bool stopping_ = false;
+  /// Workers may exit once the queue is drained (set strictly after the
+  /// builder has been joined, so no requeue can arrive afterwards).
+  bool workers_exit_ = false;
+  /// solve_all callers currently filling the queue. The destructor
+  /// waits for this to hit zero (fills stop back-pressuring once
+  /// `stopping_` is set, so they finish promptly) before letting
+  /// workers exit — every batch job reaches the queue and is drained,
+  /// so no BatchCall is ever abandoned mid-call.
+  std::size_t batch_fills_ = 0;
+  std::condition_variable batch_fills_done_;
+
+  mutable std::mutex builder_mutex_;
+  std::condition_variable builder_cv_;
+  std::deque<Job> builder_queue_;
+  bool builder_stop_ = false;
 
   mutable std::mutex stats_mutex_;
   std::uint64_t jobs_submitted_ = 0;
   std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_rejected_ = 0;
+  std::uint64_t jobs_expired_ = 0;
+  std::uint64_t jobs_cold_deferred_ = 0;
   std::uint64_t total_iterations_ = 0;
   std::uint64_t total_work_ = 0;
   std::uint64_t total_depth_ = 0;
   std::uint64_t sessions_created_ = 0;
   std::uint64_t session_reuses_ = 0;
 
+  /// The dedicated cold-plan builder; see the file comment.
+  std::thread builder_thread_;
   /// Long-lived queue consumers. Last member: joined (and thereby done
   /// touching every other member) before anything else is destroyed.
   std::vector<std::thread> worker_threads_;

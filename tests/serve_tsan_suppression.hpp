@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file serve_tsan_suppression.hpp
+/// A narrow ThreadSanitizer suppression for tests that inspect
+/// `core::AdmissionError`s carried through `std::future`s.
+///
+/// When a service worker resolves a promise with `set_exception` and the
+/// caller rethrows it via `future.get()`, libstdc++ shares one heap
+/// exception object between the two threads, lifetime-managed by the
+/// atomic refcount inside `__cxa_refcounted_exception`. Those refcount
+/// operations live in `eh_ptr.cc` / `eh_throw.cc` inside `libstdc++.so`,
+/// which is *not* TSan-instrumented — so when the caller reads a field
+/// of the caught exception (`e.kind()`) and the worker later drops the
+/// last reference (freeing the object), TSan sees a read and a `free`
+/// with no happens-before edge between them and reports a race. The
+/// ordering is in fact guaranteed by the acq/rel refcount in
+/// `exception_ptr::_M_release`; the report is a visibility artifact of
+/// the uninstrumented standard library, not a bug in the service (the
+/// same pattern is listed among upstream TSan's known libstdc++ blind
+/// spots).
+///
+/// The suppression below matches exactly that release path and nothing
+/// else, so genuine races in the serving layer still fail the TSan
+/// presets. It is compiled into the test binary via TSan's
+/// `__tsan_default_suppressions` hook, keeping ctest invocation free of
+/// environment plumbing.
+
+#if defined(__has_feature)
+#define SUBDP_TSAN_ACTIVE __has_feature(thread_sanitizer)
+#elif defined(__SANITIZE_THREAD__)
+#define SUBDP_TSAN_ACTIVE 1
+#else
+#define SUBDP_TSAN_ACTIVE 0
+#endif
+
+#if SUBDP_TSAN_ACTIVE
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:std::__exception_ptr::exception_ptr::_M_release\n";
+}
+#endif

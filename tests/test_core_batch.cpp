@@ -16,6 +16,7 @@
 #include "dp/matrix_chain.hpp"
 #include "dp/optimal_bst.hpp"
 #include "dp/sequential.hpp"
+#include "serve/solver_service.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
@@ -270,6 +271,51 @@ TEST(Batch, HandlesTrivialAndEmptyInputs) {
   const dp::Problem* null_problem = nullptr;
   std::vector<const dp::Problem*> bad = {&one, null_problem};
   EXPECT_THROW((void)batch.solve_all(bad), std::invalid_argument);
+}
+
+TEST(Batch, ContractUnchangedUnderTheAdmissionIntakePath) {
+  // The serving layer grew admission control (bounded queue, kReject
+  // shedding, per-job deadlines), but grouped batch jobs bypass it by
+  // construction: no deadline is ever armed for them and a full queue
+  // back-pressures the caller instead of rejecting. BatchSolver's
+  // ledger and bit-identity contract must therefore be byte-for-byte
+  // what it was before the intake redesign — even against a service
+  // configured to shed aggressively.
+  const std::size_t n = 21;
+  const auto problems = random_chains(6, n, 511);
+  std::vector<const dp::Problem*> pointers;
+  for (const auto& p : problems) pointers.push_back(&p);
+
+  BatchSolver batch;  // facade defaults: unbounded queue, no deadlines
+  const auto facade = batch.solve_all(pointers);
+
+  serve::ServiceOptions hostile;
+  hostile.workers = 2;
+  hostile.queue_capacity = 1;  // every enqueue collides with capacity
+  hostile.overload_policy = serve::OverloadPolicy::kReject;
+  serve::SolverService service(hostile);
+  const auto shed = service.solve_all(pointers);
+
+  ASSERT_EQ(facade.results.size(), pointers.size());
+  ASSERT_EQ(shed.results.size(), pointers.size());
+  for (std::size_t k = 0; k < pointers.size(); ++k) {
+    SublinearSolver independent;
+    const auto expected = independent.solve(problems[k]);
+    EXPECT_EQ(facade.results[k].cost, expected.cost) << "instance " << k;
+    EXPECT_TRUE(facade.results[k].w == expected.w) << "instance " << k;
+    EXPECT_EQ(facade.results[k].iterations, expected.iterations)
+        << "instance " << k;
+    EXPECT_EQ(shed.results[k].cost, expected.cost) << "instance " << k;
+    EXPECT_TRUE(shed.results[k].w == expected.w) << "instance " << k;
+  }
+  EXPECT_EQ(facade.ledger.instances, shed.ledger.instances);
+  EXPECT_EQ(facade.ledger.shape_groups, shed.ledger.shape_groups);
+  EXPECT_EQ(facade.ledger.plans_built, shed.ledger.plans_built);
+  EXPECT_EQ(facade.ledger.total_iterations, shed.ledger.total_iterations);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.jobs_rejected, 0u) << "batch jobs must never be shed";
+  EXPECT_EQ(stats.jobs_expired, 0u) << "batch jobs carry no deadline";
 }
 
 TEST(Batch, RespectsConfiguredOptions) {

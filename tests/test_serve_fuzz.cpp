@@ -1,0 +1,278 @@
+// Seeded randomized differential stress for the SolverService admission
+// path: many caller threads submit shuffled mixes of shapes, option sets
+// and deadlines against a deliberately hostile service configuration —
+// small bounded queue, tiny plan cache (constant eviction and cold
+// rebuild churn through the builder), both overload policies — and the
+// harness checks the two contracts that must survive any overload:
+//
+//  1. differential bit-identity: every job that completes returns
+//     exactly what an independent `core::solve` under the same options
+//     returns (cost, iteration count, full w table);
+//  2. exact accounting: every submission is resolved exactly once —
+//     completed + rejected + expired == submitted — both in the
+//     caller-side tallies and in `ServiceStats`, and the two agree.
+//
+// All randomness flows from the test's seeds (support::Rng), so a
+// failure reproduces from the seed; which jobs get rejected under
+// kReject depends on scheduling, but the asserted invariants hold for
+// every interleaving. Smoke-labelled; runs under the TSan preset.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sublinear_solver.hpp"
+#include "dp/matrix_chain.hpp"
+#include "serve/solver_service.hpp"
+#include "support/rng.hpp"
+#include "tests/serve_tsan_suppression.hpp"
+
+namespace subdp::serve {
+namespace {
+
+using core::AdmissionError;
+
+/// One solver configuration the fuzz mix draws from. Distinct option
+/// sets key distinct plans, so mixing them also churns the tiny cache.
+std::vector<core::SublinearOptions> option_sets() {
+  std::vector<core::SublinearOptions> out;
+  out.emplace_back();  // banded HLV defaults
+  core::SublinearOptions dense;
+  dense.variant = core::PwVariant::kDense;
+  out.push_back(dense);
+  core::SublinearOptions rytter;
+  rytter.square_mode = core::SquareMode::kRytterFull;
+  out.push_back(rytter);
+  return out;
+}
+
+/// The instances plus the full differential expectation matrix
+/// `expected[opt][shape]`, solved independently of any service.
+struct FuzzWorkload {
+  std::vector<std::unique_ptr<dp::MatrixChainProblem>> problems;
+  std::vector<core::SublinearOptions> options;
+  std::vector<std::vector<core::SublinearResult>> expected;
+};
+
+FuzzWorkload make_workload(const std::vector<std::size_t>& shapes,
+                           std::uint64_t seed) {
+  FuzzWorkload out;
+  out.options = option_sets();
+  support::Rng rng(seed);
+  for (const std::size_t n : shapes) {
+    out.problems.push_back(std::make_unique<dp::MatrixChainProblem>(
+        dp::MatrixChainProblem::random(n, rng)));
+  }
+  out.expected.resize(out.options.size());
+  for (std::size_t o = 0; o < out.options.size(); ++o) {
+    for (const auto& p : out.problems) {
+      core::SublinearSolver solver(out.options[o]);
+      out.expected[o].push_back(solver.solve(*p));
+    }
+  }
+  return out;
+}
+
+/// Per-caller outcome ledger; summed across threads and checked against
+/// `ServiceStats` for the exactly-once accounting invariant.
+struct Tally {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::vector<std::string> failures;
+
+  void fail(const std::string& what) {
+    if (failures.size() < 8) failures.push_back(what);
+  }
+};
+
+enum class DeadlineMix { kNone, kFarFuture, kAlreadyExpired };
+
+/// One caller thread's worth of traffic: shuffled (shape, options)
+/// pairs, each with a seed-drawn deadline category, plus an occasional
+/// blocking solve_all mixed in.
+void run_caller(SolverService& service, const FuzzWorkload& load,
+                std::uint64_t seed, std::size_t rounds, Tally& tally) {
+  support::Rng rng(seed);
+  struct Pending {
+    std::future<core::SublinearResult> future;
+    std::size_t opt = 0;
+    std::size_t shape = 0;
+    DeadlineMix deadline = DeadlineMix::kNone;
+  };
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Shuffle the full (option set x shape) cross product.
+    std::vector<std::pair<std::size_t, std::size_t>> mix;
+    for (std::size_t o = 0; o < load.options.size(); ++o) {
+      for (std::size_t s = 0; s < load.problems.size(); ++s) {
+        mix.emplace_back(o, s);
+      }
+    }
+    rng.shuffle(mix);
+
+    std::vector<Pending> pending;
+    for (const auto& [o, s] : mix) {
+      DeadlineMix deadline = DeadlineMix::kNone;
+      const double roll = rng.uniform01();
+      if (roll < 0.15) {
+        deadline = DeadlineMix::kAlreadyExpired;
+      } else if (roll < 0.3) {
+        deadline = DeadlineMix::kFarFuture;
+      }
+      ++tally.submitted;
+      try {
+        Pending job;
+        job.opt = o;
+        job.shape = s;
+        job.deadline = deadline;
+        switch (deadline) {
+          case DeadlineMix::kNone:
+            job.future =
+                service.submit(*load.problems[s], load.options[o]);
+            break;
+          case DeadlineMix::kFarFuture:
+            job.future = service.submit(
+                *load.problems[s], load.options[o],
+                std::chrono::steady_clock::now() + std::chrono::hours(1));
+            break;
+          case DeadlineMix::kAlreadyExpired:
+            job.future = service.submit(
+                *load.problems[s], load.options[o],
+                std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+            break;
+        }
+        pending.push_back(std::move(job));
+      } catch (const AdmissionError& e) {
+        if (e.kind() != AdmissionError::Kind::kQueueFull) {
+          tally.fail(std::string("submit threw non-queue-full: ") +
+                     e.what());
+        }
+        ++tally.rejected;
+      }
+    }
+
+    for (Pending& job : pending) {
+      try {
+        const core::SublinearResult got = job.future.get();
+        ++tally.completed;
+        const core::SublinearResult& want =
+            load.expected[job.opt][job.shape];
+        if (!(got.cost == want.cost && got.iterations == want.iterations &&
+              got.w == want.w)) {
+          tally.fail("bit-identity mismatch (opt " +
+                     std::to_string(job.opt) + ", shape " +
+                     std::to_string(job.shape) + ")");
+        }
+        if (job.deadline == DeadlineMix::kAlreadyExpired) {
+          tally.fail("already-expired job completed instead of expiring");
+        }
+      } catch (const AdmissionError& e) {
+        if (e.kind() != AdmissionError::Kind::kDeadlineExceeded) {
+          tally.fail(std::string("future threw non-deadline error: ") +
+                     e.what());
+        }
+        if (job.deadline != DeadlineMix::kAlreadyExpired) {
+          tally.fail("job without an expired deadline expired anyway");
+        }
+        ++tally.expired;
+      }
+    }
+
+    // Every other round, mix the blocking surface into the same queue:
+    // it must never shed or expire, whatever the policy.
+    if (round % 2 == 0) {
+      std::vector<const dp::Problem*> batch;
+      for (const auto& p : load.problems) batch.push_back(p.get());
+      const auto out = service.solve_all(batch, load.options[0]);
+      tally.submitted += batch.size();
+      tally.completed += batch.size();
+      for (std::size_t s = 0; s < batch.size(); ++s) {
+        const core::SublinearResult& want = load.expected[0][s];
+        if (!(out.results[s].cost == want.cost &&
+              out.results[s].iterations == want.iterations &&
+              out.results[s].w == want.w)) {
+          tally.fail("solve_all bit-identity mismatch (shape " +
+                     std::to_string(s) + ")");
+        }
+      }
+    }
+  }
+}
+
+void run_fuzz(std::uint64_t seed, OverloadPolicy policy) {
+  SCOPED_TRACE(std::string("seed ") + std::to_string(seed) + ", policy " +
+               to_string(policy));
+  const FuzzWorkload load = make_workload({6, 9, 12, 15}, seed);
+
+  ServiceOptions options;
+  options.workers = 4;
+  options.queue_capacity = 4;   // small: overload is the common case
+  options.plan_capacity = 2;    // tiny: constant eviction + cold rebuilds
+  options.overload_policy = policy;
+  SolverService service(options);
+
+  constexpr std::size_t kCallerThreads = 4;
+  constexpr std::size_t kRounds = 2;
+  std::vector<Tally> tallies(kCallerThreads);
+  {
+    std::vector<std::thread> callers;
+    callers.reserve(kCallerThreads);
+    for (std::size_t t = 0; t < kCallerThreads; ++t) {
+      callers.emplace_back([&, t] {
+        run_caller(service, load, seed * 1000 + t, kRounds, tallies[t]);
+      });
+    }
+    for (auto& thread : callers) thread.join();
+  }
+
+  Tally sum;
+  for (const Tally& t : tallies) {
+    sum.submitted += t.submitted;
+    sum.completed += t.completed;
+    sum.rejected += t.rejected;
+    sum.expired += t.expired;
+    for (const auto& f : t.failures) {
+      ADD_FAILURE() << f;
+    }
+  }
+  // Caller-side exactly-once accounting...
+  EXPECT_EQ(sum.submitted, sum.completed + sum.rejected + sum.expired);
+  // ...agreeing with the service's own ledger, counter by counter.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_submitted, sum.submitted);
+  EXPECT_EQ(stats.jobs_completed, sum.completed);
+  EXPECT_EQ(stats.jobs_rejected, sum.rejected);
+  EXPECT_EQ(stats.jobs_expired, sum.expired);
+  EXPECT_EQ(stats.jobs_submitted,
+            stats.jobs_completed + stats.jobs_rejected + stats.jobs_expired);
+  if (policy == OverloadPolicy::kBlock) {
+    EXPECT_EQ(stats.jobs_rejected, 0u) << "kBlock must never shed";
+  }
+  // The tiny cache was genuinely churned: more distinct (shape, options)
+  // keys than capacity forces evictions and repeat cold builds.
+  EXPECT_GT(stats.plan_cache.evictions, 0u);
+  EXPECT_GT(stats.plan_cache.misses, stats.plan_cache.capacity);
+}
+
+TEST(ServeFuzz, RejectPolicyAcrossSeeds) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    run_fuzz(seed, OverloadPolicy::kReject);
+  }
+}
+
+TEST(ServeFuzz, BlockPolicyAcrossSeeds) {
+  for (const std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    run_fuzz(seed, OverloadPolicy::kBlock);
+  }
+}
+
+}  // namespace
+}  // namespace subdp::serve
