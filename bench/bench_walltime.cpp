@@ -7,14 +7,19 @@
 //  * `--json=<path>`: a machine-readable perf-trajectory sweep. For every
 //    instance family in bench/common.hpp and a ladder of sizes it times
 //    the solver end-to-end (checks off) on every available backend
-//    (serial, threads, and openmp when compiled in), for both the
-//    reference engine configuration (copy-based double buffering, full
-//    sweeps — the seed engine's hot path) and the delta-buffered /
-//    frontier-driven fast path, across both pw layouts (banded ladder to
-//    n = 256, entries-indexed dense past the old 64 cube cap). Where the
-//    reference engine runs, the sweep asserts the fast path's cost,
-//    iteration count and full w table are bit-identical before writing
-//    rows. The instrumented PRAM work ledger is recorded once per
+//    (serial, threads, and openmp when compiled in), for three engine
+//    configurations: "reference" (copy-based double buffering, full
+//    sweeps — the seed engine's hot path), "fast-legacy" (delta-buffered
+//    + frontier-driven, but per-gap `get` pebble scans and per-step
+//    from-scratch mark-grid rebuilds; serial backend only, every ladder
+//    point) and "fast" (the full hot path: cursor-driven a-pebble gap
+//    runs + incrementally maintained mark grids — the two rows isolate
+//    exactly that effect), across both pw layouts (banded ladder to
+//    n = 256, entries-indexed dense past the old 64 cube cap). Each row
+//    carries a "scan" marker naming the pebble-scan mechanism. Where
+//    more than one engine configuration runs, the sweep asserts their
+//    cost, iteration count and full w table are bit-identical before
+//    writing rows. The instrumented PRAM work ledger is recorded once per
 //    (family, n) up to n = 96 (larger counted runs would dominate the
 //    sweep; rows above carry total_work = 0). Per family the sweep also
 //    times the batched front door: 16 same-n banded instances through
@@ -170,7 +175,8 @@ struct SweepRow {
   std::string family;
   std::size_t n = 0;
   std::string variant;  // "banded" | "dense"
-  std::string engine;   // "reference" | "fast"
+  std::string engine;   // "reference" | "fast-legacy" | "fast"
+  std::string scan = "gap-get";  // | "pebble-cursor+incremental-marks"
   std::string backend;  // "serial" | "threads" | "openmp"
   std::string mode = "single";  // | "batch-amortised" | "batch-loop"
                                 // | "service-parallel"
@@ -190,14 +196,37 @@ struct TimedSolve {
   core::SublinearResult result;
 };
 
+/// The three engine configurations the sweep contrasts (see file comment).
+enum class EngineConfig { kReference, kFastLegacy, kFast };
+
+const char* engine_name(EngineConfig config) {
+  switch (config) {
+    case EngineConfig::kReference:
+      return "reference";
+    case EngineConfig::kFastLegacy:
+      return "fast-legacy";
+    case EngineConfig::kFast:
+      return "fast";
+  }
+  return "unknown";
+}
+
+const char* scan_name(EngineConfig config) {
+  return config == EngineConfig::kFast ? "pebble-cursor+incremental-marks"
+                                       : "gap-get";
+}
+
 TimedSolve time_solve(const dp::Problem& problem, core::PwVariant variant,
-                      bool fast, pram::Backend backend) {
+                      EngineConfig config, pram::Backend backend) {
   core::SublinearOptions options;
   options.variant = variant;
   options.machine.backend = backend;
   options.machine.record_costs = false;
+  const bool fast = config != EngineConfig::kReference;
   options.delta_buffering = fast;
   options.frontier_sweeps = fast;
+  options.pebble_cursor = config == EngineConfig::kFast;
+  options.incremental_marks = config == EngineConfig::kFast;
   core::SublinearSolver solver(options);
   TimedSolve out;
   for (int rep = 0; rep < 2; ++rep) {  // best-of-2 absorbs cold caches
@@ -245,28 +274,41 @@ void sweep_variant(const dp::Problem& problem, const std::string& family,
     iterations = counted_result.iterations;
   }
 
-  // The serial fast run doubles as the row source of truth; where the
-  // reference engine runs too, the fast path must be bit-identical.
+  // The serial fast run doubles as the row source of truth; every other
+  // engine configuration that runs must be bit-identical to it.
   std::optional<core::SublinearResult> reference_serial;
+  std::optional<core::SublinearResult> legacy_serial;
   std::optional<core::SublinearResult> fast_serial;
-  for (const bool fast : {false, true}) {
-    if (!fast && !point.run_reference) continue;
+  for (const EngineConfig config :
+       {EngineConfig::kReference, EngineConfig::kFastLegacy,
+        EngineConfig::kFast}) {
+    if (config == EngineConfig::kReference && !point.run_reference) continue;
     for (const pram::Backend backend : backends) {
       // Above the counted sizes the reference engine is timed on the
-      // serial backend only, to keep the sweep's wall time bounded.
-      if (!fast && !point.run_counted &&
+      // serial backend only, to keep the sweep's wall time bounded. The
+      // legacy fast path exists to isolate the cursor + incremental-grid
+      // effect, which serial rows show cleanest — serial only, always.
+      if (config == EngineConfig::kReference && !point.run_counted &&
           backend != pram::Backend::kSerial) {
         continue;
       }
-      TimedSolve timed = time_solve(problem, variant, fast, backend);
+      if (config == EngineConfig::kFastLegacy &&
+          backend != pram::Backend::kSerial) {
+        continue;
+      }
+      TimedSolve timed = time_solve(problem, variant, config, backend);
       if (backend == pram::Backend::kSerial) {
-        (fast ? fast_serial : reference_serial) = timed.result;
+        (config == EngineConfig::kFast        ? fast_serial
+         : config == EngineConfig::kFastLegacy ? legacy_serial
+                                               : reference_serial) =
+            timed.result;
       }
       SweepRow row;
       row.family = family;
       row.n = n;
       row.variant = variant_name;
-      row.engine = fast ? "fast" : "reference";
+      row.engine = engine_name(config);
+      row.scan = scan_name(config);
       row.backend = pram::to_string(backend);
       row.wall_ms = timed.ms;
       row.total_work = total_work;
@@ -275,18 +317,21 @@ void sweep_variant(const dp::Problem& problem, const std::string& family,
       row.cost = timed.result.cost;
       row.workers = pram::backend_parallelism(backend);
       rows.push_back(row);
-      std::printf("%-14s n=%-4zu %-7s %-9s %-7s %10.3f ms\n",
+      std::printf("%-14s n=%-4zu %-7s %-11s %-7s %10.3f ms\n",
                   family.c_str(), n, variant_name, row.engine.c_str(),
                   row.backend.c_str(), row.wall_ms);
     }
   }
-  if (reference_serial.has_value() && fast_serial.has_value()) {
-    SUBDP_REQUIRE(reference_serial->cost == fast_serial->cost &&
-                      reference_serial->iterations ==
-                          fast_serial->iterations &&
-                      reference_serial->w == fast_serial->w,
-                  "fast path diverged from the reference engine");
-  }
+  const auto assert_matches_fast = [&](
+      const std::optional<core::SublinearResult>& other, const char* what) {
+    if (!other.has_value() || !fast_serial.has_value()) return;
+    SUBDP_REQUIRE(other->cost == fast_serial->cost &&
+                      other->iterations == fast_serial->iterations &&
+                      other->w == fast_serial->w,
+                  std::string("fast path diverged from ") + what);
+  };
+  assert_matches_fast(reference_serial, "the reference engine");
+  assert_matches_fast(legacy_serial, "the legacy fast path");
 }
 
 // ---- Batch rows: the plan-amortised front door vs a per-instance loop ----
@@ -361,6 +406,7 @@ void sweep_batch(const std::string& family, std::size_t n,
     row.n = n;
     row.variant = core::to_string(core::PwVariant::kBanded);
     row.engine = "fast";
+    row.scan = scan_name(EngineConfig::kFast);
     row.backend = pram::to_string(options.machine.backend);
     row.mode = amortised ? "batch-amortised" : "batch-loop";
     row.instances = count;
@@ -450,6 +496,7 @@ void sweep_batch(const std::string& family, std::size_t n,
   row.n = n;
   row.variant = core::to_string(core::PwVariant::kBanded);
   row.engine = "fast";
+  row.scan = scan_name(EngineConfig::kFast);
   // Per-solve backend: a multi-worker service normalises to serial; a
   // one-worker service keeps the configured backend.
   row.backend = pram::to_string(service_workers > 1
@@ -531,11 +578,17 @@ void run_json_sweep(const std::string& path,
                     const std::vector<std::string>& family_filter,
                     std::size_t max_n, std::size_t service_workers,
                     std::size_t queue_cap, serve::OverloadPolicy policy) {
-  // Open the output up front: the sweep takes minutes, and a bad path
-  // should fail before measuring, not after.
-  std::FILE* out = std::fopen(path.c_str(), "w");
+  // Write through a sibling temp file, renamed over the target only once
+  // a complete, non-empty artifact exists: the sweep takes minutes, and
+  // an earlier version that opened (truncated) the target up front left
+  // an empty BENCH_walltime.json behind when a mid-sweep failure killed
+  // the run. Opening the temp file up front still fails bad paths before
+  // measuring, not after.
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "could not open %s for writing\n", path.c_str());
+    std::fprintf(stderr, "could not open %s for writing\n",
+                 tmp_path.c_str());
     std::exit(1);
   }
   const std::vector<LadderPoint> banded_ladder = {
@@ -593,24 +646,49 @@ void run_json_sweep(const std::string& path,
                 queue_cap, policy, rows);
   }
 
+  // Refuse to publish an empty or failed artifact: downstream CI treats
+  // the target file as the source of truth, so a sweep that measured
+  // nothing (or a write that errored) must exit loudly with the previous
+  // artifact left untouched.
+  if (rows.empty()) {
+    std::fclose(out);
+    std::remove(tmp_path.c_str());
+    std::fprintf(stderr,
+                 "sweep produced no rows; refusing to write %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
   std::fprintf(out, "{\n  \"bench\": \"walltime\",\n  \"results\": [\n");
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const SweepRow& row = rows[r];
     std::fprintf(
         out,
         "    {\"family\": \"%s\", \"n\": %zu, \"variant\": \"%s\", "
-        "\"engine\": \"%s\", \"backend\": \"%s\", \"mode\": \"%s\", "
+        "\"engine\": \"%s\", \"scan\": \"%s\", \"backend\": \"%s\", "
+        "\"mode\": \"%s\", "
         "\"instances\": %zu, \"host_threads\": %u, \"workers\": %u, "
         "\"wall_ms\": %.4f, "
         "\"total_work\": %llu, \"iterations\": %zu, \"cost\": %lld}%s\n",
         row.family.c_str(), row.n, row.variant.c_str(), row.engine.c_str(),
-        row.backend.c_str(), row.mode.c_str(), row.instances,
-        row.host_threads, row.workers, row.wall_ms,
+        row.scan.c_str(), row.backend.c_str(), row.mode.c_str(),
+        row.instances, row.host_threads, row.workers, row.wall_ms,
         static_cast<unsigned long long>(row.total_work), row.iterations,
         static_cast<long long>(row.cost), r + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
+  const bool write_failed = std::ferror(out) != 0;
+  if (std::fclose(out) != 0 || write_failed) {
+    std::remove(tmp_path.c_str());
+    std::fprintf(stderr, "write to %s failed; %s left untouched\n",
+                 tmp_path.c_str(), path.c_str());
+    std::exit(1);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    std::fprintf(stderr, "could not rename %s over %s\n", tmp_path.c_str(),
+                 path.c_str());
+    std::exit(1);
+  }
   std::printf("(json written to %s)\n", path.c_str());
 }
 

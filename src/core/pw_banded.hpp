@@ -307,6 +307,42 @@ class BandedPwTable {
     }
   }
 
+  /// Enumerates the stored gaps of root `(i,j)` as arithmetic-progression
+  /// runs (the fast pebble scan's reader; same gap set as `for_each_gap`).
+  /// The banded block of a root is one contiguous cell range — slack `s`
+  /// holds offsets `o = p - i in [0, s]` at consecutive slots — so each
+  /// slack becomes a run with cell stride 1; the gaps `(i+o, i+o+len-s)`
+  /// put the matching `w` slots on stride `n+2`. Past the band, each
+  /// child-gap side store contributes one run over its boundary `k`: the
+  /// tetrahedral `child_flat` is quadratic in `k`, so consecutive slots
+  /// differ by `n-k` (left, descending `k`) / `n-k-1` (right, ascending
+  /// `k`) — arithmetic progressions with `cell_dstep = -1`.
+  template <class Fn>
+  void for_each_gap_run(std::size_t i, std::size_t j, Fn&& fn) const {
+    const std::size_t len = j - i;
+    const std::size_t stride = n_ + 1;
+    const std::size_t max_s = len - 1 < band_ ? len - 1 : band_;
+    const Cost* block = cells_.data() + layout_->flat(i, j, i, 1);
+    std::size_t w0 = i * stride + (j - 1);  // gap (i, j-1): s = 1, o = 0
+    for (std::size_t s = 1; s <= max_s; ++s) {
+      fn(PwGapRun{block, 1, 0, w0,
+                  static_cast<std::ptrdiff_t>(stride + 1), s + 1});
+      block += s + 1;
+      --w0;  // next slack starts at gap (i, j-s-1)
+    }
+    if (max_s >= len - 1) return;
+    const std::size_t child_count = (len - 1) - band_;
+    const std::size_t kl = j - band_ - 1;  // left boundaries kl down to i+1
+    fn(PwGapRun{left_child_cells_.data() + layout_->child_flat(i, j, kl),
+                -static_cast<std::ptrdiff_t>(n_ - kl), -1,
+                i * stride + kl, -1, child_count});
+    const std::size_t kr = i + band_ + 1;  // right boundaries kr up to j-1
+    fn(PwGapRun{right_child_cells_.data() + layout_->child_flat(i, j, kr),
+                static_cast<std::ptrdiff_t>(n_ - kr - 1), -1,
+                kr * stride + j, static_cast<std::ptrdiff_t>(stride),
+                child_count});
+  }
+
   /// Resets every stored entry to `kInfinity` (in place, no reallocation).
   void reset();
 

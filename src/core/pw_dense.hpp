@@ -236,6 +236,28 @@ class DensePwTable {
     }
   }
 
+  /// Enumerates the stored gaps of root `(i,j)` as arithmetic-progression
+  /// runs (the fast pebble scan's reader; same gap set as `for_each_gap`).
+  /// A root's gap triangle is laid out row-major by left endpoint `p`, so
+  /// every `p` contributes one fully contiguous run — cells and `w` slots
+  /// both stride 1 along ascending `q`. The `p == i` row is one gap short:
+  /// its last slot is the identity `(i,j)`, which is skipped.
+  template <class Fn>
+  void for_each_gap_run(std::size_t i, std::size_t j, Fn&& fn) const {
+    const std::size_t len = j - i;
+    const std::size_t stride = n_ + 1;
+    const Cost* cell = cells_.data() + layout_->flat(i, j, i, i + 1);
+    fn(PwGapRun{cell, 1, 0, i * stride + (i + 1), 1, len - 1});
+    cell += len;  // past the identity slot ending the p == i row
+    std::size_t w0 = (i + 1) * stride + (i + 2);
+    for (std::size_t p = i + 1; p < j; ++p) {
+      const std::size_t count = j - p;
+      fn(PwGapRun{cell, 1, 0, w0, 1, count});
+      cell += count;
+      w0 += stride + 1;
+    }
+  }
+
   /// Resets every stored entry to `kInfinity` (in place, no reallocation).
   void reset();
 

@@ -25,7 +25,19 @@
 ///    an *arithmetic progression* — dense rows stride `len-a-1, len-a-2,
 ///    ...`, banded slack blocks stride `s+2, s+3, ...` — so one
 ///    `PwWindowCursor{cell, step, dstep}` covers all four cases with two
-///    adds per element and no address re-derivation.
+///    adds per element and no address re-derivation;
+///  * `for_each_gap_run` — the a-pebble analogue of the window cursors: the
+///    stored gaps of one root `(i,j)`, partitioned into `PwGapRun`s inside
+///    which both the pw slot and the flat `w(p,q)` slot (stride `n+1`)
+///    advance by arithmetic progressions. Dense roots decompose into one
+///    contiguous run per left endpoint `p`; banded roots into one
+///    contiguous run per slack `s` (w slots striding `n+2`) plus, past the
+///    band, one run per child-gap side store, whose cell offsets are
+///    quadratic in the boundary `k` and therefore still APs. The engine's
+///    fast pebble kernel streams these runs instead of calling the general
+///    `get` per gap (identity / slack / child-gap branches eliminated);
+///    `for_each_gap` remains the reference enumeration, and the two must
+///    cover exactly the same `(p,q)` set with identical cell values.
 ///
 /// `entries()` must enumerate the square-step targets grouped by root
 /// length ascending with the quads of one root `(i,j)` contiguous; the
@@ -93,11 +105,30 @@ struct PwWindowCursor {
   }
 };
 
+/// One arithmetic-progression run of a root's stored gaps (a-pebble fast
+/// scan). Enumerates `count` gaps `(p,q)`: the pw slot starts at `cell`
+/// and advances like a `PwWindowCursor` (`cell += cell_step; cell_step +=
+/// cell_dstep`), while the matching `w(p,q)` slot — flattened as
+/// `p * (n+1) + q` — starts at `w_slot` and advances by the constant
+/// `w_step`. A run never contains the identity gap `(i,j)`.
+struct PwGapRun {
+  const Cost* cell = nullptr;
+  std::ptrdiff_t cell_step = 0;
+  std::ptrdiff_t cell_dstep = 0;
+  std::size_t w_slot = 0;
+  std::ptrdiff_t w_step = 0;
+  std::size_t count = 0;
+};
+
 namespace layout_detail {
 /// Stand-in callable for concept-checking `for_each_gap` (lambdas cannot
 /// appear in a requires-expression portably).
 struct GapSink {
   void operator()(std::size_t, std::size_t) const noexcept {}
+};
+/// Stand-in callable for concept-checking `for_each_gap_run`.
+struct GapRunSink {
+  void operator()(const PwGapRun&) const noexcept {}
 };
 }  // namespace layout_detail
 
@@ -129,6 +160,8 @@ concept PwStoragePolicy =
       { c.entry_count() } noexcept -> std::same_as<std::size_t>;
       { c.entries() } noexcept -> std::same_as<const std::vector<Quad>&>;
       { c.for_each_gap(z, z, layout_detail::GapSink{}) } ->
+          std::same_as<void>;
+      { c.for_each_gap_run(z, z, layout_detail::GapRunSink{}) } ->
           std::same_as<void>;
       { t.reset() } -> std::same_as<void>;
       { t.copy_from(c) } -> std::same_as<void>;

@@ -98,6 +98,16 @@ struct SublinearOptions {
   /// fast path (no CREW checker, no cost ledger) and without the windowed
   /// pebble schedule, so checked-mode accounting is unchanged.
   bool frontier_sweeps = true;
+  /// Cursor pebble scan (fast path only): the a-pebble gap scan streams
+  /// each root's stored gaps as the layout's arithmetic-progression
+  /// `PwGapRun`s instead of reading every gap through `for_each_gap` and
+  /// the general `get` (identity / slack / child-gap branches per read).
+  bool pebble_cursor = true;
+  /// Incremental mark grids (fast path only): the frontier sweeps'
+  /// containment / prefix grids are updated from the step's moved-mark
+  /// delta when sparse (rank-update row passes), rebuilt from scratch when
+  /// dense — bit-identical counts either way.
+  bool incremental_marks = true;
   /// Host execution / accounting configuration.
   pram::MachineOptions machine;
 };

@@ -16,6 +16,8 @@ PlanKey PlanKey::make(std::size_t n,
   key.windowed_pebble = options.windowed_pebble;
   key.delta_buffering = options.delta_buffering;
   key.frontier_sweeps = options.frontier_sweeps;
+  key.pebble_cursor = options.pebble_cursor;
+  key.incremental_marks = options.incremental_marks;
   key.backend = options.machine.backend;
   key.check_crew = options.machine.check_crew;
   key.record_costs = options.machine.record_costs;

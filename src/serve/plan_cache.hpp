@@ -71,6 +71,8 @@ struct PlanKey {
   bool windowed_pebble = false;
   bool delta_buffering = true;
   bool frontier_sweeps = true;
+  bool pebble_cursor = true;
+  bool incremental_marks = true;
   pram::Backend backend = pram::default_backend();
   bool check_crew = false;
   bool record_costs = true;
@@ -82,7 +84,8 @@ struct PlanKey {
     auto tie = [](const PlanKey& k) {
       return std::tuple(k.n, k.variant, k.square_mode, k.termination,
                         k.band_width, k.max_iterations, k.windowed_pebble,
-                        k.delta_buffering, k.frontier_sweeps, k.backend,
+                        k.delta_buffering, k.frontier_sweeps,
+                        k.pebble_cursor, k.incremental_marks, k.backend,
                         k.check_crew, k.record_costs);
     };
     return tie(a) < tie(b);

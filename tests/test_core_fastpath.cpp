@@ -1,9 +1,11 @@
 // Equivalence tests for the hot-path engine mechanisms (core/engine.hpp):
 // delta-buffered stepping vs copy-based double buffering, frontier-driven
-// vs full sweeps, and serial vs thread-pool execution must all produce
-// identical solver output — the same w table, cost, iteration count, and
-// per-iteration change counts — across every instance family in
-// bench/common.hpp and both pw-table layouts. The fast path is engaged by
+// vs full sweeps, cursor-driven a-pebble gap runs vs per-gap `get` scans,
+// incrementally maintained frontier mark grids vs per-step rebuilds, and
+// serial vs thread-pool execution must all produce identical solver
+// output — the same w table, cost, iteration count, and per-iteration
+// change counts — across every instance family in bench/common.hpp and
+// both pw-table layouts. The fast path is engaged by
 // turning the cost ledger off (`record_costs = false`); checked /
 // instrumented runs keep full sweeps, whose ledger must be unaffected by
 // delta buffering.
@@ -29,6 +31,11 @@ struct EngineConfig {
   bool frontier = true;
   bool record_costs = false;
   pram::Backend backend = pram::Backend::kSerial;
+  // The two PR-6 hot-path mechanisms; false selects the reference
+  // implementation (per-gap `get` pebble scans / from-scratch mark-grid
+  // rebuilds) the cursor and incremental paths must be bit-identical to.
+  bool cursor = true;
+  bool incremental = true;
 };
 
 SublinearResult run_config(const dp::Problem& problem,
@@ -37,6 +44,8 @@ SublinearResult run_config(const dp::Problem& problem,
   options.variant = variant;
   options.delta_buffering = config.delta;
   options.frontier_sweeps = config.frontier;
+  options.pebble_cursor = config.cursor;
+  options.incremental_marks = config.incremental;
   options.machine.record_costs = config.record_costs;
   options.machine.backend = config.backend;
   SublinearSolver solver(options);
@@ -75,6 +84,16 @@ std::vector<EngineConfig> variant_configs() {
        pram::Backend::kThreadPool},
       {"delta,full,counted,threads", true, false, true,
        pram::Backend::kThreadPool},
+      // Legacy fast paths: each PR-6 mechanism off alone, then both off
+      // (the pre-cursor engine), serial and threaded.
+      {"delta,frontier,fast,serial,no-cursor", true, true, false,
+       pram::Backend::kSerial, false, true},
+      {"delta,frontier,fast,serial,no-incremental", true, true, false,
+       pram::Backend::kSerial, true, false},
+      {"delta,frontier,fast,serial,legacy", true, true, false,
+       pram::Backend::kSerial, false, false},
+      {"delta,frontier,fast,threads,legacy", true, true, false,
+       pram::Backend::kThreadPool, false, false},
   };
 }
 

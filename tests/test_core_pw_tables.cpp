@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <set>
+#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "core/pw_banded.hpp"
 #include "core/pw_dense.hpp"
@@ -194,6 +197,99 @@ TEST(PwLayoutCursors, BandedWindowsMatchGeneralGet) {
 TEST(PwLayoutCursors, BandedWideBandWindowsMatchGeneralGet) {
   BandedPwTable t(10, 10);
   expect_cursors_match_get(t);
+}
+
+// ---- Gap runs (the fast pebble scan's reader) ----
+
+/// Fills every stored cell with a distinct value, then — root by root —
+/// walks `for_each_gap_run`, decoding each run's `w` slots back to gap
+/// coordinates (`w_slot = p*(n+1)+q`, advanced by `w_step`) and its
+/// stored values through the arithmetic-progression cell cursor, and
+/// compares the collected `(p, q, value)` triples against the reference
+/// `for_each_gap` + `get` enumeration. Equality of the sorted triple sets
+/// proves the runs cover exactly the stored gaps, address the right cells
+/// and pair each with the right `w` slot.
+template <class Table>
+void expect_gap_runs_match_for_each_gap(Table& t) {
+  const std::size_t n = t.n();
+  Cost v = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      for (std::size_t p = i; p < j; ++p) {
+        for (std::size_t q = p + 1; q <= j; ++q) {
+          if ((p == i && q == j) || !t.stores(i, j, p, q)) continue;
+          t.set(i, j, p, q, v++);
+        }
+      }
+    }
+  }
+  using GapTriple = std::tuple<std::size_t, std::size_t, Cost>;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j <= n; ++j) {
+      std::vector<GapTriple> ref;
+      t.for_each_gap(i, j, [&](std::size_t p, std::size_t q) {
+        ref.emplace_back(p, q, t.get(i, j, p, q));
+      });
+      std::vector<GapTriple> runs;
+      t.for_each_gap_run(i, j, [&](const PwGapRun& run) {
+        const Cost* cell = run.cell;
+        std::ptrdiff_t step = run.cell_step;
+        std::ptrdiff_t w = static_cast<std::ptrdiff_t>(run.w_slot);
+        for (std::size_t k = 0; k < run.count; ++k) {
+          const std::size_t slot = static_cast<std::size_t>(w);
+          runs.emplace_back(slot / (n + 1), slot % (n + 1), *cell);
+          cell += step;
+          step += run.cell_dstep;
+          w += run.w_step;
+        }
+      });
+      std::sort(ref.begin(), ref.end());
+      std::sort(runs.begin(), runs.end());
+      ASSERT_EQ(runs, ref) << "root (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(PwGapRuns, DenseRunsMatchForEachGap) {
+  DensePwTable t(11);
+  expect_gap_runs_match_for_each_gap(t);
+}
+
+TEST(PwGapRuns, BandedRunsMatchForEachGap) {
+  BandedPwTable t(13, 4);
+  expect_gap_runs_match_for_each_gap(t);
+}
+
+TEST(PwGapRuns, BandedWideBandRunsMatchForEachGap) {
+  // band >= n - 1: every gap in band, no child-gap side runs anywhere.
+  BandedPwTable t(10, 10);
+  expect_gap_runs_match_for_each_gap(t);
+}
+
+TEST(PwGapRuns, BandedNarrowestBandRunsMatchForEachGap) {
+  // band = 1: the slack runs degenerate to one per root and nearly every
+  // child gap lives in the tetrahedral side stores.
+  BandedPwTable t(9, 1);
+  expect_gap_runs_match_for_each_gap(t);
+}
+
+TEST(PwGapRuns, EdgeSizesMatchForEachGap) {
+  // Smallest meaningful tables: a single root (n = 2) and the first size
+  // with length-3 roots.
+  DensePwTable d2(2), d3(3);
+  expect_gap_runs_match_for_each_gap(d2);
+  expect_gap_runs_match_for_each_gap(d3);
+  BandedPwTable b2(2, 1), b3(3, 1), b3w(3, 3);
+  expect_gap_runs_match_for_each_gap(b2);
+  expect_gap_runs_match_for_each_gap(b3);
+  expect_gap_runs_match_for_each_gap(b3w);
+}
+
+TEST(PwGapRuns, PaperBandMatchesForEachGap) {
+  // The band the solver actually uses (B = 2 ceil(sqrt n)).
+  const std::size_t n = 17;
+  BandedPwTable t(n, support::two_ceil_sqrt(n));
+  expect_gap_runs_match_for_each_gap(t);
 }
 
 TEST(DensePwTable, ResetRestoresInfinity) {
