@@ -42,6 +42,17 @@
 //    clamp to it), so CI can smoke-run a single tiny batch row, e.g.
 //    `--json=out.json --families=matrix-chain --max-n=32`.
 //
+//    `--snapshot-dir=<path>` adds a cold-start row pair per family: the
+//    first-request latency of a fresh service with no persistence
+//    ("service-coldstart": the plan build sits on the request path)
+//    against a service restarted over a populated plan snapshot store +
+//    prewarm manifest under `<path>/<family>` ("service-prewarmed": the
+//    shape was rehydrated from disk before intake opened, so the first
+//    request has no plan-build component). Both paths are asserted
+//    bit-identical first, the prewarmed service must report at least one
+//    snapshot hit (printed as "snapshot_hits=<k>" for CI to grep), and
+//    the rows land in the JSON artifact like every other mode.
+//
 //    `--queue-cap=<n>` (with `--policy=block|reject`, default block)
 //    adds an overload-mode row per family: the same instances pushed
 //    through a service whose dispatch queue holds only `n` jobs, under
@@ -560,6 +571,106 @@ void sweep_batch(const std::string& family, std::size_t n,
       rejections);
 }
 
+// ---- Snapshot rows: cold-start vs prewarmed first-request latency ----------
+
+/// Times the first request of a fresh service against the first request
+/// of a service restarted over a populated snapshot store (one store per
+/// family under `snapshot_root`), asserting bit-identity and at least
+/// one snapshot hit. See the file comment (`--snapshot-dir=`).
+void sweep_snapshot(const std::string& family, std::size_t n,
+                    std::size_t service_workers,
+                    const std::string& snapshot_root,
+                    std::vector<SweepRow>& rows) {
+  support::Rng rng(8800 + n);
+  const auto problem = bench::make_instance(family, n, rng);
+
+  core::SublinearOptions options;
+  options.machine.record_costs = false;
+  serve::ServiceOptions cold_options;
+  cold_options.solver = options;
+  cold_options.workers = service_workers;
+  const std::string dir = snapshot_root + "/" + family;
+
+  // Cold: no persistence — the O(n^2 B^2) plan build happens on the
+  // first request's critical path. Fresh service per rep (the build
+  // only happens once per service), best-of-3.
+  double cold_ms = 0.0;
+  core::SublinearResult cold_result;
+  for (int rep = 0; rep < 3; ++rep) {
+    serve::SolverService service(cold_options);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = service.submit(*problem).get();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < cold_ms) cold_ms = ms;
+    if (rep == 0) cold_result = std::move(result);
+  }
+
+  // Populate the family's store and its prewarm manifest once.
+  serve::ServiceOptions snapshot_options = cold_options;
+  snapshot_options.snapshot_dir = dir;
+  {
+    serve::SolverService service(snapshot_options);
+    benchmark::DoNotOptimize(service.submit(*problem).get().cost);
+    service.snapshot_store()->flush();
+    service.snapshot_store()->write_manifest({n});
+  }
+
+  // Prewarmed: a restarted replica rehydrates the shape from disk in its
+  // constructor, so the timed first request finds a warm cache entry —
+  // no plan-build component at all.
+  double warm_ms = 0.0;
+  core::SublinearResult warm_result;
+  std::uint64_t snapshot_hits = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    serve::SolverService service(snapshot_options);
+    const auto stats = service.stats();
+    SUBDP_REQUIRE(stats.shapes_prewarmed >= 1 && stats.snapshot_hits >= 1,
+                  "prewarmed service did not load its plan snapshot");
+    snapshot_hits = stats.snapshot_hits;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = service.submit(*problem).get();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < warm_ms) warm_ms = ms;
+    if (rep == 0) warm_result = std::move(result);
+  }
+  SUBDP_REQUIRE(cold_result.cost == warm_result.cost &&
+                    cold_result.iterations == warm_result.iterations &&
+                    cold_result.w == warm_result.w,
+                "snapshot-loaded plan diverged from the fresh build");
+
+  for (const bool prewarmed : {false, true}) {
+    SweepRow row;
+    row.family = family;
+    row.n = n;
+    row.variant = core::to_string(core::PwVariant::kBanded);
+    row.engine = "fast";
+    row.scan = scan_name(EngineConfig::kFast);
+    row.backend = pram::to_string(service_workers > 1
+                                      ? pram::Backend::kSerial
+                                      : options.machine.backend);
+    row.mode = prewarmed ? "service-prewarmed" : "service-coldstart";
+    row.wall_ms = prewarmed ? warm_ms : cold_ms;
+    row.iterations = cold_result.iterations;
+    row.cost = cold_result.cost;
+    row.workers = static_cast<unsigned>(service_workers);
+    rows.push_back(row);
+    const std::string suffix =
+        prewarmed ? " snapshot_hits=" + std::to_string(snapshot_hits) : "";
+    std::printf("%-14s n=%-4zu %-7s %-17s      %10.3f ms%s\n",
+                family.c_str(), n, row.variant.c_str(), row.mode.c_str(),
+                row.wall_ms, suffix.c_str());
+  }
+  std::printf(
+      "%-14s n=%-4zu prewarming removes %.3f ms of first-request "
+      "latency (%.1f%%)\n",
+      family.c_str(), n, cold_ms - warm_ms,
+      100.0 * (cold_ms - warm_ms) / cold_ms);
+}
+
 /// Comma-separated `--families=` filter; empty = all families.
 std::vector<std::string> parse_family_filter(const std::string& arg) {
   std::vector<std::string> out;
@@ -577,7 +688,8 @@ std::vector<std::string> parse_family_filter(const std::string& arg) {
 void run_json_sweep(const std::string& path,
                     const std::vector<std::string>& family_filter,
                     std::size_t max_n, std::size_t service_workers,
-                    std::size_t queue_cap, serve::OverloadPolicy policy) {
+                    std::size_t queue_cap, serve::OverloadPolicy policy,
+                    const std::string& snapshot_dir) {
   // Write through a sibling temp file, renamed over the target only once
   // a complete, non-empty artifact exists: the sweep takes minutes, and
   // an earlier version that opened (truncated) the target up front left
@@ -644,6 +756,9 @@ void run_json_sweep(const std::string& path,
     }
     sweep_batch(family, batch_n, kBatchInstances, service_workers,
                 queue_cap, policy, rows);
+    if (!snapshot_dir.empty()) {
+      sweep_snapshot(family, batch_n, service_workers, snapshot_dir, rows);
+    }
   }
 
   // Refuse to publish an empty or failed artifact: downstream CI treats
@@ -701,6 +816,7 @@ int main(int argc, char** argv) {
   std::size_t service_workers = 0;  // 0 = hardware_concurrency
   std::size_t queue_cap = 0;        // 0 = no admission row
   serve::OverloadPolicy policy = serve::OverloadPolicy::kBlock;
+  std::string snapshot_dir;         // empty = no cold/prewarmed rows
   int kept = 1;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--json=", 7) == 0) {
@@ -728,6 +844,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--queue-cap must be at least 1\n");
         return 1;
       }
+    } else if (std::strncmp(argv[a], "--snapshot-dir=", 15) == 0) {
+      snapshot_dir = argv[a] + 15;
+      if (snapshot_dir.empty()) {
+        std::fprintf(stderr, "--snapshot-dir needs a path\n");
+        return 1;
+      }
     } else if (std::strncmp(argv[a], "--policy=", 9) == 0) {
       const std::string name = argv[a] + 9;
       if (name == "block") {
@@ -749,13 +871,14 @@ int main(int argc, char** argv) {
   }
   if (!json_path.empty()) {
     run_json_sweep(json_path, family_filter, max_n, service_workers,
-                   queue_cap, policy);
+                   queue_cap, policy, snapshot_dir);
     return 0;
   }
-  if (!family_filter.empty() || max_n != SIZE_MAX || queue_cap != 0) {
+  if (!family_filter.empty() || max_n != SIZE_MAX || queue_cap != 0 ||
+      !snapshot_dir.empty()) {
     std::fprintf(stderr,
-                 "--families / --max-n / --queue-cap / --policy filter "
-                 "the --json sweep only\n");
+                 "--families / --max-n / --queue-cap / --policy / "
+                 "--snapshot-dir filter the --json sweep only\n");
     return 1;
   }
   benchmark::Initialize(&argc, argv);

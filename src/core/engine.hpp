@@ -172,13 +172,13 @@ struct EngineShape {
   std::size_t n = 0;
   std::size_t band = 0;
   /// Pairs with length >= 2, grouped by length ascending.
-  std::vector<Pair> pairs;
+  ShapeArray<Pair> pairs;
   /// Prefix offsets addressing a window of lengths in `pairs`.
-  std::vector<std::size_t> pairs_offset_by_length;
+  ShapeArray<std::size_t> pairs_offset_by_length;
   /// Storage slot per square entry (delta-buffered write-log apply).
-  std::vector<std::uint32_t> entry_slots;
+  ShapeArray<std::uint32_t> entry_slots;
   /// Per-root runs of the entry list (root-major square sweep).
-  std::vector<RootBlock> root_blocks;
+  ShapeArray<RootBlock> root_blocks;
   /// Total (pair, split) activate sites — the frontier density cutoff.
   std::uint64_t total_split_sites = 0;
 
@@ -194,52 +194,124 @@ struct EngineShape {
     shape->n = n;
     shape->band = band;
 
-    shape->pairs_offset_by_length.assign(n + 2, 0);
+    std::vector<Pair> pairs;
+    std::vector<std::size_t> pairs_offset_by_length(n + 2, 0);
     for (std::size_t len = 2; len <= n; ++len) {
-      shape->pairs_offset_by_length[len] = shape->pairs.size();
+      pairs_offset_by_length[len] = pairs.size();
       for (std::size_t i = 0; i + len <= n; ++i) {
-        shape->pairs.push_back(Pair{static_cast<std::uint32_t>(i),
-                                    static_cast<std::uint32_t>(i + len)});
+        pairs.push_back(Pair{static_cast<std::uint32_t>(i),
+                             static_cast<std::uint32_t>(i + len)});
       }
     }
-    shape->pairs_offset_by_length[n + 1] = shape->pairs.size();
+    pairs_offset_by_length[n + 1] = pairs.size();
     // Lengths below 2 alias the first real group.
-    shape->pairs_offset_by_length[0] = 0;
-    shape->pairs_offset_by_length[1] = 0;
+    pairs_offset_by_length[0] = 0;
+    pairs_offset_by_length[1] = 0;
 
-    for (const Pair pr : shape->pairs) {
+    for (const Pair pr : pairs) {
       shape->total_split_sites += pr.j - pr.i - 1;
     }
 
     const auto& quads = shape->layout->entries();
+    std::vector<std::uint32_t> entry_slots;
+    std::vector<RootBlock> blocks;
     if (options.delta_buffering) {
       SUBDP_REQUIRE(shape->layout->cell_count() <= UINT32_MAX,
                     "pw table too large for 32-bit write-log slots");
-      shape->entry_slots.reserve(quads.size());
+      entry_slots.reserve(quads.size());
       for (const Quad& t : quads) {
-        shape->entry_slots.push_back(static_cast<std::uint32_t>(
+        entry_slots.push_back(static_cast<std::uint32_t>(
             shape->layout->entry_slot(t.i, t.j, t.p, t.q)));
       }
       // Per-root runs of the entry list (both layouts emit the quads of a
       // root contiguously) — the unit of the root-major square sweep.
-      auto& blocks = shape->root_blocks;
       for (std::size_t idx = 0; idx < quads.size(); ++idx) {
         const Quad& t = quads[idx];
         if (blocks.empty() ||
-            shape->pairs[blocks.back().pair].i != t.i ||
-            shape->pairs[blocks.back().pair].j != t.j) {
+            pairs[blocks.back().pair].i != t.i ||
+            pairs[blocks.back().pair].j != t.j) {
           if (!blocks.empty()) {
             blocks.back().end = static_cast<std::uint32_t>(idx);
           }
           blocks.push_back(RootBlock{
               static_cast<std::uint32_t>(idx), 0,
-              static_cast<std::uint32_t>(shape->pair_index(t.i, t.j))});
+              static_cast<std::uint32_t>(pairs_offset_by_length[t.j - t.i] +
+                                         t.i)});
         }
       }
       if (!blocks.empty()) {
         blocks.back().end = static_cast<std::uint32_t>(quads.size());
       }
     }
+    shape->pairs = std::move(pairs);
+    shape->pairs_offset_by_length = std::move(pairs_offset_by_length);
+    shape->entry_slots = std::move(entry_slots);
+    shape->root_blocks = std::move(blocks);
+    return shape;
+  }
+
+  /// Rehydrates a shape around snapshot-backed arrays (the mmap load path;
+  /// see snapshot/plan_snapshot.hpp). Array *contents* are vouched for by
+  /// the snapshot checksum; this factory re-derives everything cheap — the
+  /// O(n) pair offsets and the split-site total — verifies it against the
+  /// stored copy, and checks every array count against what `build` would
+  /// produce, throwing on any disagreement so a corrupt file can never
+  /// yield a structurally inconsistent shape.
+  [[nodiscard]] static std::shared_ptr<const EngineShape> restore(
+      std::shared_ptr<const typename Table::Layout> layout, std::size_t n,
+      std::size_t band, const SublinearOptions& options,
+      ShapeArray<Pair> pairs, ShapeArray<std::size_t> pairs_offset_by_length,
+      ShapeArray<std::uint32_t> entry_slots, ShapeArray<RootBlock> root_blocks,
+      std::uint64_t total_split_sites) {
+    auto shape = std::make_shared<EngineShape>();
+    shape->layout = std::move(layout);
+    shape->n = n;
+    shape->band = band;
+
+    SUBDP_REQUIRE(pairs.size() == (n >= 2 ? n * (n - 1) / 2 : 0),
+                  "snapshot pair count disagrees with n");
+    SUBDP_REQUIRE(pairs_offset_by_length.size() == n + 2,
+                  "snapshot pair-offset count disagrees with n");
+    std::size_t at = 0;
+    std::uint64_t split_sites = 0;
+    for (std::size_t len = 2; len <= n; ++len) {
+      SUBDP_REQUIRE(pairs_offset_by_length[len] == at,
+                    "snapshot pair offsets disagree with n");
+      at += n - len + 1;
+      split_sites += static_cast<std::uint64_t>(n - len + 1) * (len - 1);
+    }
+    SUBDP_REQUIRE(pairs_offset_by_length[n + 1] == at &&
+                      pairs_offset_by_length[0] == 0 &&
+                      pairs_offset_by_length[1] == 0,
+                  "snapshot pair offsets disagree with n");
+    SUBDP_REQUIRE(total_split_sites == split_sites,
+                  "snapshot split-site total disagrees with n");
+
+    const std::size_t quad_count = shape->layout->entries().size();
+    if (options.delta_buffering) {
+      SUBDP_REQUIRE(shape->layout->cell_count() <= UINT32_MAX,
+                    "pw table too large for 32-bit write-log slots");
+      SUBDP_REQUIRE(entry_slots.size() == quad_count,
+                    "snapshot entry-slot count disagrees with the layout");
+      // Both layouts give every root of length >= 2 at least one quad, so
+      // the per-root runs must be one block per pair and end at the list.
+      SUBDP_REQUIRE(root_blocks.size() == (quad_count > 0 ? pairs.size() : 0),
+                    "snapshot root-block count disagrees with the pair list");
+      SUBDP_REQUIRE(root_blocks.empty() ||
+                        (root_blocks.front().begin == 0 &&
+                         root_blocks.back().end == quad_count),
+                    "snapshot root-block runs do not cover the entry list");
+    } else {
+      SUBDP_REQUIRE(entry_slots.empty() && root_blocks.empty(),
+                    "snapshot carries delta-buffering arrays the options "
+                    "do not use");
+    }
+
+    shape->pairs = std::move(pairs);
+    shape->pairs_offset_by_length = std::move(pairs_offset_by_length);
+    shape->entry_slots = std::move(entry_slots);
+    shape->root_blocks = std::move(root_blocks);
+    shape->total_split_sites = total_split_sites;
     return shape;
   }
 };
@@ -1280,10 +1352,10 @@ class Engine final : public IEngine {
   support::Grid2D<Cost> w_next_;    ///< Reference copy-based mode only.
 
   // Shape-owned geometry — immutable aliases into `*shape_`.
-  const std::vector<Pair>& pairs_;
-  const std::vector<std::size_t>& pairs_offset_by_length_;
-  const std::vector<std::uint32_t>& entry_slots_;  ///< Slot per entry.
-  const std::vector<RootBlock>& root_blocks_;      ///< Per-root runs.
+  const ShapeArray<Pair>& pairs_;
+  const ShapeArray<std::size_t>& pairs_offset_by_length_;
+  const ShapeArray<std::uint32_t>& entry_slots_;  ///< Slot per entry.
+  const ShapeArray<RootBlock>& root_blocks_;      ///< Per-root runs.
   std::uint64_t total_split_sites_ = 0;
 
   // Delta-buffered stepping state (delta_ == true).

@@ -58,6 +58,18 @@ class BandedPwLayout {
  public:
   BandedPwLayout(std::size_t n, std::size_t band);
 
+  /// Rehydrates a layout around snapshot-backed arrays (the mmap load
+  /// path; see snapshot/plan_snapshot.hpp). The offset tables and cell
+  /// counts are recomputed from `(n, band)` and *verified* against the
+  /// provided arrays — any size or content mismatch throws, so a decoder
+  /// can adopt the arrays only when they are exactly what a fresh build
+  /// would produce. Entry *contents* are vouched for by the snapshot
+  /// checksum; only their count is checked here.
+  BandedPwLayout(std::size_t n, std::size_t band,
+                 ShapeArray<std::size_t> length_base,
+                 ShapeArray<std::size_t> tetra_base,
+                 ShapeArray<Quad> entries);
+
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
   [[nodiscard]] std::size_t band() const noexcept { return band_; }
 
@@ -91,8 +103,18 @@ class BandedPwLayout {
 
   /// Square-step targets (in-band quadruples), grouped by root length
   /// ascending with the quads of one root contiguous.
-  [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
+  [[nodiscard]] const ShapeArray<Quad>& entries() const noexcept {
     return entries_;
+  }
+
+  /// Cumulative block offsets per length (snapshot serialisation).
+  [[nodiscard]] const ShapeArray<std::size_t>& length_base() const noexcept {
+    return length_base_;
+  }
+
+  /// Child-store offsets per `i` (snapshot serialisation).
+  [[nodiscard]] const ShapeArray<std::size_t>& tetra_base() const noexcept {
+    return tetra_base_;
   }
 
   /// Cells for one `(L, i)` block: sum over s of (s+1) slots.
@@ -128,14 +150,19 @@ class BandedPwLayout {
   }
 
  private:
+  /// Computes counts + offset tables from `(n, band)` alone (shared by
+  /// both constructors; the rehydrating one verifies instead of adopting).
+  void init_geometry(std::vector<std::size_t>& length_base,
+                     std::vector<std::size_t>& tetra_base);
+
   std::size_t n_;
   std::size_t band_;
   std::size_t band_cell_count_ = 0;
   std::size_t child_cell_count_ = 0;
   std::size_t out_of_band_child_count_ = 0;
-  std::vector<std::size_t> length_base_;  ///< Cumulative block offsets.
-  std::vector<std::size_t> tetra_base_;   ///< Child-store offsets per `i`.
-  std::vector<Quad> entries_;
+  ShapeArray<std::size_t> length_base_;  ///< Cumulative block offsets.
+  ShapeArray<std::size_t> tetra_base_;   ///< Child-store offsets per `i`.
+  ShapeArray<Quad> entries_;
 };
 
 /// Banded `pw'` storage; in-band entries plus child-gap entries of any
@@ -285,7 +312,7 @@ class BandedPwTable {
   /// ascending. Child-gap entries are not square targets: their activate
   /// value `f + w(child)` is exact once the children have converged, and
   /// keeping them out preserves the O(n^3 * B) square work bound.
-  [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
+  [[nodiscard]] const ShapeArray<Quad>& entries() const noexcept {
     return layout_->entries();
   }
 

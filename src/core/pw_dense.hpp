@@ -51,6 +51,14 @@ class DensePwLayout {
  public:
   explicit DensePwLayout(std::size_t n);
 
+  /// Rehydrates a layout around snapshot-backed arrays (the mmap load
+  /// path; see snapshot/plan_snapshot.hpp). Offsets and counts are
+  /// recomputed from `n` and verified against the provided arrays — any
+  /// mismatch throws; entry contents are vouched for by the snapshot
+  /// checksum, only their count is checked here.
+  DensePwLayout(std::size_t n, ShapeArray<std::size_t> length_base,
+                ShapeArray<Quad> entries);
+
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
 
   /// Total allocated cells (identity slots included).
@@ -60,8 +68,13 @@ class DensePwLayout {
 
   /// All stored quadruples, grouped by root-interval length ascending and
   /// contiguous per root.
-  [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
+  [[nodiscard]] const ShapeArray<Quad>& entries() const noexcept {
     return entries_;
+  }
+
+  /// Cumulative block offsets per length (snapshot serialisation).
+  [[nodiscard]] const ShapeArray<std::size_t>& length_base() const noexcept {
+    return length_base_;
   }
 
   /// Storage slot of a stored square-step entry (index into a table's
@@ -89,10 +102,14 @@ class DensePwLayout {
   }
 
  private:
+  /// Computes `cell_count_` and the offset table from `n` alone (shared
+  /// by both constructors); returns the root count.
+  std::size_t init_geometry(std::vector<std::size_t>& length_base);
+
   std::size_t n_;
   std::size_t cell_count_ = 0;
-  std::vector<std::size_t> length_base_;  ///< Cumulative block offsets.
-  std::vector<Quad> entries_;
+  ShapeArray<std::size_t> length_base_;  ///< Cumulative block offsets.
+  ShapeArray<Quad> entries_;
 };
 
 /// Dense `pw'` storage for instances of up to `kMaxDenseN` objects.
@@ -221,7 +238,7 @@ class DensePwTable {
   /// All stored quadruples, grouped by root-interval length ascending and
   /// contiguous per root (the order the square step iterates in; the
   /// engine's root-major sweep keys its block table off this grouping).
-  [[nodiscard]] const std::vector<Quad>& entries() const noexcept {
+  [[nodiscard]] const ShapeArray<Quad>& entries() const noexcept {
     return layout_->entries();
   }
 

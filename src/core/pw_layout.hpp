@@ -52,7 +52,10 @@
 /// `T(layout)` binds a shared layout to a fresh cell allocation. This is
 /// the seam `SolvePlan` amortises across instances: the plan builds each
 /// layout once, every `SolveSession` table of that shape shares it, and
-/// per-instance setup degenerates to `reset()` (an in-place fill).
+/// per-instance setup degenerates to `reset()` (an in-place fill). The
+/// layout's bulk arrays are `ShapeArray`s (shape_array.hpp), so a layout
+/// rehydrated from a plan snapshot can alias the file mapping instead of
+/// copying the entry list (snapshot/plan_snapshot.hpp).
 ///
 /// The header also provides the overflow-checked size arithmetic the
 /// layout constructors use: table shapes are products of four instance
@@ -67,6 +70,7 @@
 #include <vector>
 
 #include "core/quad.hpp"
+#include "core/shape_array.hpp"
 #include "support/assert.hpp"
 #include "support/cost.hpp"
 
@@ -158,7 +162,7 @@ concept PwStoragePolicy =
       { c.raw_cells() } noexcept -> std::same_as<const Cost*>;
       { c.cell_count() } noexcept -> std::same_as<std::size_t>;
       { c.entry_count() } noexcept -> std::same_as<std::size_t>;
-      { c.entries() } noexcept -> std::same_as<const std::vector<Quad>&>;
+      { c.entries() } noexcept -> std::same_as<const ShapeArray<Quad>&>;
       { c.for_each_gap(z, z, layout_detail::GapSink{}) } ->
           std::same_as<void>;
       { c.for_each_gap_run(z, z, layout_detail::GapRunSink{}) } ->

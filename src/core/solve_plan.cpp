@@ -5,7 +5,7 @@
 
 namespace subdp::core {
 
-std::shared_ptr<const SolvePlan> SolvePlan::create(
+std::shared_ptr<SolvePlan> SolvePlan::make_validated(
     std::size_t n, const SublinearOptions& options) {
   SUBDP_REQUIRE(n >= 1, "need at least one object");
   SUBDP_REQUIRE(n <= kMaxPackedN,
@@ -37,7 +37,12 @@ std::shared_ptr<const SolvePlan> SolvePlan::create(
   } else {
     plan->cap_ = plan->bound_;
   }
+  return plan;
+}
 
+std::shared_ptr<const SolvePlan> SolvePlan::create(
+    std::size_t n, const SublinearOptions& options) {
+  auto plan = make_validated(n, options);
   if (n >= 2) {
     if (options.variant == PwVariant::kDense) {
       plan->dense_shape_ =
@@ -46,6 +51,38 @@ std::shared_ptr<const SolvePlan> SolvePlan::create(
       plan->banded_shape_ =
           detail::EngineShape<BandedPwTable>::build(n, plan->band_, options);
     }
+  }
+  return plan;
+}
+
+std::shared_ptr<const SolvePlan> SolvePlan::restore(
+    std::size_t n, const SublinearOptions& options,
+    std::shared_ptr<const detail::EngineShape<BandedPwTable>> banded_shape,
+    std::shared_ptr<const detail::EngineShape<DensePwTable>> dense_shape) {
+  auto plan = make_validated(n, options);
+  if (n >= 2) {
+    if (options.variant == PwVariant::kDense) {
+      SUBDP_REQUIRE(dense_shape != nullptr && banded_shape == nullptr,
+                    "restoring a dense plan requires exactly the dense "
+                    "engine shape");
+      SUBDP_REQUIRE(dense_shape->n == n && dense_shape->band == plan->band_,
+                    "restored engine shape disagrees with the plan's "
+                    "(n, band)");
+      plan->dense_shape_ = std::move(dense_shape);
+    } else {
+      SUBDP_REQUIRE(banded_shape != nullptr && dense_shape == nullptr,
+                    "restoring a banded plan requires exactly the banded "
+                    "engine shape");
+      SUBDP_REQUIRE(banded_shape->n == n && banded_shape->band == plan->band_,
+                    "restored engine shape disagrees with the plan's "
+                    "(n, band)");
+      SUBDP_REQUIRE(banded_shape->layout->band() == plan->band_,
+                    "restored layout band disagrees with the plan's band");
+      plan->banded_shape_ = std::move(banded_shape);
+    }
+  } else {
+    SUBDP_REQUIRE(banded_shape == nullptr && dense_shape == nullptr,
+                  "trivial plans carry no engine shape");
   }
   return plan;
 }

@@ -55,6 +55,17 @@ class SolvePlan {
   [[nodiscard]] static std::shared_ptr<const SolvePlan> create(
       std::size_t n, const SublinearOptions& options = {});
 
+  /// Adopts prebuilt engine shapes instead of constructing them — the plan
+  /// snapshot rehydration path (snapshot/plan_snapshot.hpp). Runs exactly
+  /// `create`'s validation and derived-scalar computation, then requires
+  /// the shape matching `options.variant` (and only that one) to be
+  /// present with agreeing `n`/band; throws on any mismatch. The returned
+  /// plan is indistinguishable from a `create`d one.
+  [[nodiscard]] static std::shared_ptr<const SolvePlan> restore(
+      std::size_t n, const SublinearOptions& options,
+      std::shared_ptr<const detail::EngineShape<BandedPwTable>> banded_shape,
+      std::shared_ptr<const detail::EngineShape<DensePwTable>> dense_shape);
+
   /// Instance size this plan serves; sessions reject anything else.
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
 
@@ -86,8 +97,24 @@ class SolvePlan {
   [[nodiscard]] std::unique_ptr<detail::IEngine> make_engine(
       const dp::Problem& problem, pram::Machine& machine) const;
 
+  /// The precomputed engine shape (null unless `options().variant` selects
+  /// this layout and `n >= 2`); snapshot serialisation reads through these.
+  [[nodiscard]] const std::shared_ptr<
+      const detail::EngineShape<BandedPwTable>>&
+  banded_shape() const noexcept {
+    return banded_shape_;
+  }
+  [[nodiscard]] const std::shared_ptr<const detail::EngineShape<DensePwTable>>&
+  dense_shape() const noexcept {
+    return dense_shape_;
+  }
+
  private:
   SolvePlan() = default;
+
+  /// Shared validation + derived-scalar computation behind both factories.
+  [[nodiscard]] static std::shared_ptr<SolvePlan> make_validated(
+      std::size_t n, const SublinearOptions& options);
 
   std::size_t n_ = 0;
   std::size_t bound_ = 0;

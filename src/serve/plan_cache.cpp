@@ -1,5 +1,8 @@
 #include "serve/plan_cache.hpp"
 
+#include <utility>
+
+#include "snapshot/snapshot_store.hpp"
 #include "support/assert.hpp"
 
 namespace subdp::serve {
@@ -24,8 +27,11 @@ PlanKey PlanKey::make(std::size_t n,
   return key;
 }
 
-PlanCache::PlanCache(std::size_t capacity, std::size_t sessions_per_plan)
-    : capacity_(capacity), sessions_per_plan_(sessions_per_plan) {
+PlanCache::PlanCache(std::size_t capacity, std::size_t sessions_per_plan,
+                     std::shared_ptr<snapshot::SnapshotStore> store)
+    : capacity_(capacity),
+      sessions_per_plan_(sessions_per_plan),
+      store_(std::move(store)) {
   SUBDP_REQUIRE(capacity_ >= 1, "PlanCache requires a capacity of at least 1");
   SUBDP_REQUIRE(sessions_per_plan_ >= 1,
                 "PlanCache requires at least one session per plan");
@@ -108,8 +114,15 @@ std::shared_ptr<SessionPool> PlanCache::finish_build(
   }
   std::shared_ptr<SessionPool> pool;
   try {
-    pool = std::make_shared<SessionPool>(core::SolvePlan::create(n, options),
-                                         sessions_per_plan_);
+    // Persistence tier first: a verified snapshot replaces the O(n^2 B^2)
+    // geometry build outright; a fresh build is queued for write-back so
+    // the *next* process (or a post-eviction re-request) loads instead.
+    std::shared_ptr<const core::SolvePlan> plan;
+    if (store_ != nullptr) plan = store_->load(n, options);
+    const bool loaded = plan != nullptr;
+    if (!loaded) plan = core::SolvePlan::create(n, options);
+    pool = std::make_shared<SessionPool>(std::move(plan), sessions_per_plan_);
+    if (store_ != nullptr && !loaded) store_->save_async(pool->plan_ptr());
   } catch (...) {
     // Plan validation failed: drop the placeholder so a dead entry does
     // not occupy capacity (a retry is a fresh miss).

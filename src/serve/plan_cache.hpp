@@ -57,6 +57,10 @@
 #include "core/solver_types.hpp"
 #include "serve/session_pool.hpp"
 
+namespace subdp::snapshot {
+class SnapshotStore;
+}  // namespace subdp::snapshot
+
 namespace subdp::serve {
 
 /// Total order over everything that distinguishes one plan (and the
@@ -112,7 +116,14 @@ class PlanCache {
  public:
   /// Keeps at most `capacity >= 1` shapes resident. Each miss builds the
   /// plan and a `SessionPool` of at most `sessions_per_plan` sessions.
-  PlanCache(std::size_t capacity, std::size_t sessions_per_plan);
+  /// With a `store`, a miss consults the snapshot directory before
+  /// building geometry (a verified snapshot is adopted; anything corrupt
+  /// or mismatched is ignored and rebuilt), and freshly built plans are
+  /// written back asynchronously. LRU eviction never touches the store's
+  /// files — the disk is the cheap tier, so a re-requested evicted shape
+  /// reloads (a snapshot hit) instead of rebuilding.
+  PlanCache(std::size_t capacity, std::size_t sessions_per_plan,
+            std::shared_ptr<snapshot::SnapshotStore> store = nullptr);
 
   /// The pool (and plan) serving `(n, options)`: most-recently-used bump
   /// on a hit, plan build + LRU eviction on a miss. `built`, when given,
@@ -181,6 +192,9 @@ class PlanCache {
 
   std::size_t capacity_;
   std::size_t sessions_per_plan_;
+  /// Optional persistence tier consulted by `finish_build`; never locked
+  /// under `mutex_` (loads and saves happen outside the cache lock).
+  std::shared_ptr<snapshot::SnapshotStore> store_;
 
   mutable std::mutex mutex_;
   std::list<Entry> lru_;

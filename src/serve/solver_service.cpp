@@ -17,6 +17,12 @@ std::size_t resolve_workers(std::size_t requested) {
   return hw != 0 ? hw : 1;
 }
 
+std::shared_ptr<snapshot::SnapshotStore> open_store(
+    const std::string& snapshot_dir) {
+  if (snapshot_dir.empty()) return nullptr;
+  return std::make_shared<snapshot::SnapshotStore>(snapshot_dir);
+}
+
 }  // namespace
 
 core::SublinearOptions SolverService::normalized(
@@ -44,10 +50,27 @@ struct SolverService::BatchCall {
 SolverService::SolverService(ServiceOptions options)
     : options_(std::move(options)),
       workers_(resolve_workers(options_.workers)),
+      store_(open_store(options_.snapshot_dir)),
       cache_(options_.plan_capacity,
              options_.sessions_per_plan != 0 ? options_.sessions_per_plan
-                                             : workers_) {
+                                             : workers_,
+             store_) {
   options_.solver = normalized(options_.solver);
+  if (store_ != nullptr) {
+    // Prewarm: resolve every manifest shape under the service options
+    // before any thread starts — the first request of a listed shape hits
+    // a warm cache entry, with the plan's geometry loaded from disk (a
+    // snapshot hit) instead of rebuilt. A shape that fails to resolve
+    // (bad manifest entry, invalid (n, options) combination) is skipped;
+    // a damaged manifest degrades prewarming, never startup.
+    for (const std::size_t n : store_->read_manifest()) {
+      try {
+        (void)cache_.acquire(n, options_.solver);
+        ++shapes_prewarmed_;
+      } catch (...) {
+      }
+    }
+  }
   builder_thread_ = std::thread([this] { builder_loop(); });
   worker_threads_.reserve(workers_);
   for (std::size_t w = 0; w < workers_; ++w) {
@@ -453,6 +476,13 @@ ServiceStats SolverService::stats() const {
     out.total_depth = total_depth_;
     out.sessions_created = sessions_created_;
     out.session_reuses = session_reuses_;
+  }
+  if (store_ != nullptr) {
+    const snapshot::SnapshotStoreStats s = store_->stats();
+    out.snapshot_hits = s.hits;
+    out.snapshot_misses = s.misses;
+    out.snapshot_write_failures = s.write_failures;
+    out.shapes_prewarmed = shapes_prewarmed_;
   }
   out.plan_cache = cache_.stats();
   return out;

@@ -140,10 +140,13 @@
 #include <thread>
 #include <vector>
 
+#include <string>
+
 #include "core/solver_types.hpp"
 #include "dp/problem.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/session_pool.hpp"
+#include "snapshot/snapshot_store.hpp"
 
 namespace subdp::serve {
 
@@ -180,6 +183,15 @@ struct ServiceOptions {
   /// What `submit` does when the queue is full. `solve_all` always
   /// back-pressures its caller regardless of this policy.
   OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Plan snapshot directory (empty = no persistence). When set, the
+  /// service opens a `snapshot::SnapshotStore` there and threads it into
+  /// the plan cache: cache misses load verified snapshots instead of
+  /// building geometry, fresh builds are written back asynchronously,
+  /// and at startup every shape in the store's prewarm manifest
+  /// (`prewarm.txt`) is resolved before the first request is accepted —
+  /// a restarted replica serves its first requests with zero cold-path
+  /// stalls. See snapshot/snapshot_store.hpp.
+  std::string snapshot_dir;
   /// Instrumentation/test seam: when set, invoked on the builder thread
   /// before each cold-build it resolves (admission tests gate this to
   /// hold the builder busy deterministically). Leave empty in
@@ -212,6 +224,17 @@ struct ServiceStats {
   /// Session churn across all plans (service lifetime, eviction-proof).
   std::uint64_t sessions_created = 0;
   std::uint64_t session_reuses = 0;
+  /// Snapshot-store accounting; all zero without `snapshot_dir`. With a
+  /// store, every plan construction consults it exactly once, so
+  /// `snapshot_hits + snapshot_misses >= plan_cache.misses` (prewarm and
+  /// post-eviction re-requests consult too) and the admission invariant
+  /// is untouched — snapshots change where plans come from, never how
+  /// jobs are counted.
+  std::uint64_t snapshot_hits = 0;
+  std::uint64_t snapshot_misses = 0;
+  std::uint64_t snapshot_write_failures = 0;
+  /// Shapes resolved from the prewarm manifest at startup.
+  std::uint64_t shapes_prewarmed = 0;
   PlanCacheStats plan_cache;
 };
 
@@ -276,6 +299,13 @@ class SolverService {
     return options_;
   }
 
+  /// The plan snapshot store, or null without `snapshot_dir` (tests and
+  /// benches use this to flush pending write-backs deterministically).
+  [[nodiscard]] const std::shared_ptr<snapshot::SnapshotStore>&
+  snapshot_store() const noexcept {
+    return store_;
+  }
+
  private:
   /// Completion rendezvous for one `solve_all` call: jobs write their
   /// slot, add to the call ledger, and count down; the caller waits.
@@ -334,7 +364,11 @@ class SolverService {
 
   ServiceOptions options_;
   std::size_t workers_ = 1;
+  /// Declared before `cache_`: the cache holds a copy of this pointer
+  /// and its builds write through it.
+  std::shared_ptr<snapshot::SnapshotStore> store_;
   PlanCache cache_;
+  std::uint64_t shapes_prewarmed_ = 0;  ///< Set once in the constructor.
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

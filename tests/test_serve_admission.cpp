@@ -143,10 +143,16 @@ void expect_admission_error(std::future<core::SublinearResult>& future,
   }
 }
 
-/// Asserts the admission invariant on a drained service.
+/// Asserts the admission invariant on a drained service. These services
+/// run without a `snapshot_dir`, so the snapshot tier must report exactly
+/// zero activity — persistence never leaks into admission accounting.
 void expect_accounted(const ServiceStats& stats) {
   EXPECT_EQ(stats.jobs_submitted,
             stats.jobs_completed + stats.jobs_rejected + stats.jobs_expired);
+  EXPECT_EQ(stats.snapshot_hits, 0u);
+  EXPECT_EQ(stats.snapshot_misses, 0u);
+  EXPECT_EQ(stats.snapshot_write_failures, 0u);
+  EXPECT_EQ(stats.shapes_prewarmed, 0u);
 }
 
 TEST(Admission, RejectPolicyFailsTheOverflowSubmitWithAdmissionError) {

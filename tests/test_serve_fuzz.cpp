@@ -256,6 +256,12 @@ void run_fuzz(std::uint64_t seed, OverloadPolicy policy) {
   if (policy == OverloadPolicy::kBlock) {
     EXPECT_EQ(stats.jobs_rejected, 0u) << "kBlock must never shed";
   }
+  // No `snapshot_dir` configured: however hard the cache is churned, the
+  // snapshot tier reports exactly zero activity.
+  EXPECT_EQ(stats.snapshot_hits, 0u);
+  EXPECT_EQ(stats.snapshot_misses, 0u);
+  EXPECT_EQ(stats.snapshot_write_failures, 0u);
+  EXPECT_EQ(stats.shapes_prewarmed, 0u);
   // The tiny cache was genuinely churned: more distinct (shape, options)
   // keys than capacity forces evictions and repeat cold builds.
   EXPECT_GT(stats.plan_cache.evictions, 0u);
