@@ -200,7 +200,42 @@ struct SweepRow {
   // real multicore rerun must stay distinguishable in the artifact.
   unsigned host_threads = std::thread::hardware_concurrency();
   unsigned workers = 1;  // host threads the row's parallelism ran across
+  // Per-job end-to-end latency percentiles (service rows only; 0 for
+  // single/batch rows, which time one call, not a job population).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
 };
+
+/// ns → ms for the histogram percentile columns.
+double ns_to_ms(double ns) { return ns / 1e6; }
+
+/// Writes `content` through a sibling temp file renamed over `path` (the
+/// same crash-safe protocol as the main --json artifact).
+void write_text_artifact(const std::string& path,
+                         const std::string& content, const char* what) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not open %s for writing\n",
+                 tmp_path.c_str());
+    std::exit(1);
+  }
+  const std::size_t wrote =
+      std::fwrite(content.data(), 1, content.size(), out);
+  if (std::fclose(out) != 0 || wrote != content.size()) {
+    std::remove(tmp_path.c_str());
+    std::fprintf(stderr, "write to %s failed\n", tmp_path.c_str());
+    std::exit(1);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    std::fprintf(stderr, "could not rename %s over %s\n", tmp_path.c_str(),
+                 path.c_str());
+    std::exit(1);
+  }
+  std::printf("(%s written to %s)\n", what, path.c_str());
+}
 
 struct TimedSolve {
   double ms = 0.0;
@@ -359,6 +394,8 @@ void sweep_variant(const dp::Problem& problem, const std::string& family,
 void sweep_batch(const std::string& family, std::size_t n,
                  std::size_t count, std::size_t service_workers,
                  std::size_t queue_cap, serve::OverloadPolicy policy,
+                 const std::string& metrics_json,
+                 const std::string& trace_json,
                  std::vector<SweepRow>& rows) {
   std::vector<std::unique_ptr<dp::Problem>> owned;
   owned.reserve(count);
@@ -487,8 +524,12 @@ void sweep_batch(const std::string& family, std::size_t n,
   }
 
   // The timed row mirrors the batch rows' protocol: cold service per
-  // rep (plan built inside), best-of-3.
+  // rep (plan built inside), best-of-3. The last rep's stats feed the
+  // per-job latency percentile columns (every rep runs the identical
+  // cold workload) and, with no admission row to prefer, the
+  // --metrics-json / --trace-json artifacts.
   double service_ms = 0.0;
+  serve::ServiceStats timed_stats;
   for (int rep = 0; rep < 3; ++rep) {
     serve::ServiceOptions service_options;
     service_options.solver = options;
@@ -501,6 +542,19 @@ void sweep_batch(const std::string& family, std::size_t n,
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (rep == 0 || ms < service_ms) service_ms = ms;
+    if (rep == 2) {
+      timed_stats = service.stats();
+      if (queue_cap == 0) {
+        if (!metrics_json.empty()) {
+          write_text_artifact(metrics_json, service.metrics().to_json(),
+                              "metrics json");
+        }
+        if (!trace_json.empty()) {
+          write_text_artifact(trace_json, service.export_trace(),
+                              "trace json");
+        }
+      }
+    }
   }
   SweepRow row;
   row.family = family;
@@ -523,10 +577,15 @@ void sweep_batch(const std::string& family, std::size_t n,
   row.workers = service_workers > 1
                     ? static_cast<unsigned>(service_workers)
                     : pram::backend_parallelism(options.machine.backend);
+  row.p50_ms = ns_to_ms(timed_stats.e2e.p50());
+  row.p95_ms = ns_to_ms(timed_stats.e2e.p95());
+  row.p99_ms = ns_to_ms(timed_stats.e2e.p99());
   rows.push_back(row);
-  std::printf("%-14s n=%-4zu %-7s %-15s x%zu  %10.3f ms (%u workers)\n",
-              family.c_str(), n, row.variant.c_str(), row.mode.c_str(),
-              count, row.wall_ms, row.workers);
+  std::printf(
+      "%-14s n=%-4zu %-7s %-15s x%zu  %10.3f ms (%u workers, "
+      "p50/p95/p99 %.3f/%.3f/%.3f ms)\n",
+      family.c_str(), n, row.variant.c_str(), row.mode.c_str(), count,
+      row.wall_ms, row.workers, row.p50_ms, row.p95_ms, row.p99_ms);
 
   // ---- Overload row: bounded queue + admission policy (--queue-cap) ----
 
@@ -563,12 +622,27 @@ void sweep_batch(const std::string& family, std::size_t n,
       std::string("service-admission-") + serve::to_string(policy);
   admission_row.wall_ms =
       std::chrono::duration<double, std::milli>(a1 - a0).count();
+  const serve::ServiceStats admission_stats = admission.stats();
+  admission_row.p50_ms = ns_to_ms(admission_stats.e2e.p50());
+  admission_row.p95_ms = ns_to_ms(admission_stats.e2e.p95());
+  admission_row.p99_ms = ns_to_ms(admission_stats.e2e.p99());
+  // With an admission row in play, export its observability artifacts
+  // instead of the plain service's: the trace then covers rejected jobs
+  // and queue-wait under contention, the most interesting case.
+  if (!metrics_json.empty()) {
+    write_text_artifact(metrics_json, admission.metrics().to_json(),
+                        "metrics json");
+  }
+  if (!trace_json.empty()) {
+    write_text_artifact(trace_json, admission.export_trace(), "trace json");
+  }
   rows.push_back(admission_row);
   std::printf(
-      "%-14s n=%-4zu %-7s %-23s x%zu  %10.3f ms (cap %zu, %zu rejection(s))\n",
+      "%-14s n=%-4zu %-7s %-23s x%zu  %10.3f ms (cap %zu, %zu rejection(s), "
+      "p95 %.3f ms)\n",
       family.c_str(), n, admission_row.variant.c_str(),
       admission_row.mode.c_str(), count, admission_row.wall_ms, queue_cap,
-      rejections);
+      rejections, admission_row.p95_ms);
 }
 
 // ---- Snapshot rows: cold-start vs prewarmed first-request latency ----------
@@ -689,7 +763,9 @@ void run_json_sweep(const std::string& path,
                     const std::vector<std::string>& family_filter,
                     std::size_t max_n, std::size_t service_workers,
                     std::size_t queue_cap, serve::OverloadPolicy policy,
-                    const std::string& snapshot_dir) {
+                    const std::string& snapshot_dir,
+                    const std::string& metrics_json,
+                    const std::string& trace_json) {
   // Write through a sibling temp file, renamed over the target only once
   // a complete, non-empty artifact exists: the sweep takes minutes, and
   // an earlier version that opened (truncated) the target up front left
@@ -755,7 +831,7 @@ void run_json_sweep(const std::string& path,
                     backends, rows);
     }
     sweep_batch(family, batch_n, kBatchInstances, service_workers,
-                queue_cap, policy, rows);
+                queue_cap, policy, metrics_json, trace_json, rows);
     if (!snapshot_dir.empty()) {
       sweep_snapshot(family, batch_n, service_workers, snapshot_dir, rows);
     }
@@ -783,10 +859,12 @@ void run_json_sweep(const std::string& path,
         "\"mode\": \"%s\", "
         "\"instances\": %zu, \"host_threads\": %u, \"workers\": %u, "
         "\"wall_ms\": %.4f, "
+        "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
         "\"total_work\": %llu, \"iterations\": %zu, \"cost\": %lld}%s\n",
         row.family.c_str(), row.n, row.variant.c_str(), row.engine.c_str(),
         row.scan.c_str(), row.backend.c_str(), row.mode.c_str(),
         row.instances, row.host_threads, row.workers, row.wall_ms,
+        row.p50_ms, row.p95_ms, row.p99_ms,
         static_cast<unsigned long long>(row.total_work), row.iterations,
         static_cast<long long>(row.cost), r + 1 < rows.size() ? "," : "");
   }
@@ -817,6 +895,8 @@ int main(int argc, char** argv) {
   std::size_t queue_cap = 0;        // 0 = no admission row
   serve::OverloadPolicy policy = serve::OverloadPolicy::kBlock;
   std::string snapshot_dir;         // empty = no cold/prewarmed rows
+  std::string metrics_json;         // empty = no metrics artifact
+  std::string trace_json;           // empty = no Chrome trace artifact
   int kept = 1;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--json=", 7) == 0) {
@@ -850,6 +930,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--snapshot-dir needs a path\n");
         return 1;
       }
+    } else if (std::strncmp(argv[a], "--metrics-json=", 15) == 0) {
+      metrics_json = argv[a] + 15;
+      if (metrics_json.empty()) {
+        std::fprintf(stderr, "--metrics-json needs a path\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[a], "--trace-json=", 13) == 0) {
+      trace_json = argv[a] + 13;
+      if (trace_json.empty()) {
+        std::fprintf(stderr, "--trace-json needs a path\n");
+        return 1;
+      }
     } else if (std::strncmp(argv[a], "--policy=", 9) == 0) {
       const std::string name = argv[a] + 9;
       if (name == "block") {
@@ -871,14 +963,17 @@ int main(int argc, char** argv) {
   }
   if (!json_path.empty()) {
     run_json_sweep(json_path, family_filter, max_n, service_workers,
-                   queue_cap, policy, snapshot_dir);
+                   queue_cap, policy, snapshot_dir, metrics_json,
+                   trace_json);
     return 0;
   }
   if (!family_filter.empty() || max_n != SIZE_MAX || queue_cap != 0 ||
-      !snapshot_dir.empty()) {
+      !snapshot_dir.empty() || !metrics_json.empty() ||
+      !trace_json.empty()) {
     std::fprintf(stderr,
                  "--families / --max-n / --queue-cap / --policy / "
-                 "--snapshot-dir filter the --json sweep only\n");
+                 "--snapshot-dir / --metrics-json / --trace-json filter "
+                 "the --json sweep only\n");
     return 1;
   }
   benchmark::Initialize(&argc, argv);

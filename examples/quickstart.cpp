@@ -223,11 +223,43 @@ int main() {
   }
   std::filesystem::remove_all(snapshot_dir);
 
+  // Observability shape: every service records per-stage latency
+  // histograms (queue wait, plan build/load, solve, end-to-end) and a
+  // per-job lifecycle trace for free. `stats()` carries the histogram
+  // snapshots, `metrics()` renders them (with every counter) to
+  // Prometheus text or JSON, and `export_trace()` emits Chrome
+  // trace-event JSON — load it in Perfetto to see each job's span from
+  // submit to resolve, rejections and expiries included.
+  std::printf("\n  latency (e2e)    : %zu jobs, p50 %.1f us, p95 %.1f us, "
+              "p99 %.1f us\n",
+              static_cast<std::size_t>(stats.e2e.count),
+              stats.e2e.p50() / 1e3, stats.e2e.p95() / 1e3,
+              stats.e2e.p99() / 1e3);
+
+  const std::string prometheus = service.metrics().to_prometheus();
+  const std::string trace = bounded.export_trace();
+  std::printf("  metrics export   : %zu bytes of Prometheus text "
+              "(subdp_jobs_completed, subdp_e2e_ns_p95, ...)\n",
+              prometheus.size());
+  std::printf("  trace export     : %zu bytes of Chrome trace JSON "
+              "covering completed, rejected and expired jobs\n",
+              trace.size());
+
+  const bool obs_ok =
+      stats.e2e.count == stats.jobs_completed &&
+      prometheus.find("subdp_jobs_completed") != std::string::npos &&
+      prometheus.find("subdp_e2e_ns_p95") != std::string::npos &&
+      trace.find("\"traceEvents\"") != std::string::npos &&
+      trace.find("rejected") != std::string::npos &&
+      trace.find("expired") != std::string::npos;
+
   const bool serve_ok = async_matches && out.ledger.plans_built == 1 &&
                         out.results.size() == 8 &&
                         stats.jobs_completed == 16;
-  // textbook answer, intact serving + admission + persistence contracts
-  return solution.cost == 15125 && serve_ok && admission_ok && snapshot_ok
+  // textbook answer, intact serving + admission + persistence +
+  // observability contracts
+  return solution.cost == 15125 && serve_ok && admission_ok &&
+                 snapshot_ok && obs_ok
              ? 0
              : 1;
 }

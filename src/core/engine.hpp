@@ -137,6 +137,10 @@ class IEngine {
   [[nodiscard]] virtual const support::Grid2D<Cost>& w_table() const = 0;
   [[nodiscard]] virtual std::uint64_t w_finite_count() const = 0;
   [[nodiscard]] virtual std::size_t pw_cell_count() const = 0;
+  /// One StepProfile per completed iteration when
+  /// `SublinearOptions::profile` is on; empty otherwise.
+  [[nodiscard]] virtual const std::vector<StepProfile>& step_profiles()
+      const = 0;
 };
 
 /// One pair `(i,j)` of the pebble/activate sweeps. 32-bit fields: unlike
@@ -347,6 +351,7 @@ class Engine final : public IEngine {
     }
     frontier_enabled_ = delta_ && options_.frontier_sweeps &&
                         !options_.windowed_pebble && !machine_.instrumented();
+    profile_ = options_.profile;
     if (frontier_enabled_) {
       // Value-initialised (zeroed) atomic flag arrays.
       root_dirty_ =
@@ -380,10 +385,12 @@ class Engine final : public IEngine {
 
   IterationOutcome iterate() override {
     ++iteration_;
+    if (profile_) begin_profile();
     IterationOutcome out;
     out.activate_changed = run_activate();
     out.square_changed = run_square();
     out.pebble_changed = run_pebble();
+    if (profile_) end_profile();
     return out;
   }
 
@@ -419,6 +426,11 @@ class Engine final : public IEngine {
 
   [[nodiscard]] std::size_t pw_cell_count() const override {
     return pw_.cell_count();
+  }
+
+  [[nodiscard]] const std::vector<StepProfile>& step_profiles()
+      const override {
+    return profiles_;
   }
 
  private:
@@ -458,6 +470,8 @@ class Engine final : public IEngine {
   void bind_instance(const dp::Problem& problem, bool fresh_tables) {
     problem_ = &problem;
     iteration_ = 0;
+    profiles_.clear();
+    prof_ = nullptr;
     for (std::size_t i = 0; i < n_; ++i) {
       w_(i, i + 1) = problem.init(i);
     }
@@ -850,6 +864,7 @@ class Engine final : public IEngine {
   /// no valid grid state exists yet (first pebble, post-reset).
   void update_contained_counts() {
     if (!options_.incremental_marks || !pebble_grids_valid_) {
+      if (prof_ != nullptr) ++prof_->mark_updates_rebuilt;
       build_contained_counts();
       pebble_marks_.assign(frontier_.begin(), frontier_.end());
       pebble_grids_valid_ = true;
@@ -877,10 +892,12 @@ class Engine final : public IEngine {
       }
     }
     if (delta_is_dense(mark_delta_, /*with_prefix_rows=*/false)) {
+      if (prof_ != nullptr) ++prof_->mark_updates_rebuilt;
       build_contained_counts();  // clears the transient flags with the rest
       pebble_marks_.assign(frontier_.begin(), frontier_.end());
       return;
     }
+    if (prof_ != nullptr) ++prof_->mark_updates_incremental;
     apply_mark_delta(mark_delta_, w_moved_, contained_, nullptr, nullptr);
     pebble_marks_.assign(frontier_.begin(), frontier_.end());
 #ifndef NDEBUG
@@ -955,6 +972,7 @@ class Engine final : public IEngine {
   /// removals.
   void update_square_prefixes() {
     if (!options_.incremental_marks || !square_grids_valid_) {
+      if (prof_ != nullptr) ++prof_->mark_updates_rebuilt;
       build_square_prefixes();
       capture_square_marks();
       return;
@@ -976,10 +994,12 @@ class Engine final : public IEngine {
       }
     }
     if (delta_is_dense(mark_delta_, /*with_prefix_rows=*/true)) {
+      if (prof_ != nullptr) ++prof_->mark_updates_rebuilt;
       build_square_prefixes();
       capture_square_marks();
       return;
     }
+    if (prof_ != nullptr) ++prof_->mark_updates_incremental;
     apply_mark_delta(mark_delta_, root_mark_grid_, root_contained_,
                      &mark_left_pre_, &mark_right_pre_);
     capture_square_marks();
@@ -1043,7 +1063,13 @@ class Engine final : public IEngine {
       // Fall back to the full sweep when the frontier is dense.
       std::uint64_t frontier_sites = 0;
       for (const Pair e : frontier_) frontier_sites += e.i + (n_ - e.j);
-      if (frontier_sites < total_split_sites_) return run_activate_frontier();
+      const bool use_frontier = frontier_sites < total_split_sites_;
+      if (prof_ != nullptr) {
+        prof_->frontier_sites = frontier_sites;
+        prof_->total_split_sites = total_split_sites_;
+        prof_->activate_used_frontier = use_frontier;
+      }
+      if (use_frontier) return run_activate_frontier();
     }
     std::atomic<std::uint64_t> changed{0};
     if (machine_.instrumented()) {
@@ -1178,6 +1204,8 @@ class Engine final : public IEngine {
           frontier_enabled_ && square_frontier_ready_ && hlv;
       if (skip_clean) update_square_prefixes();
       const Cost* raw_read = pw_.raw_cells();
+      const bool prof = prof_ != nullptr;
+      if (prof) prof_->square_quads_total += quads.size();
       machine_.run_blocks(
           static_cast<std::int64_t>(quads.size()),
           [&](std::int64_t lo64, std::int64_t hi64) {
@@ -1198,28 +1226,59 @@ class Engine final : public IEngine {
               for (std::size_t idx = lo; idx < hi; ++idx) {
                 scan_one(quads[idx], idx);
               }
+              if (prof) {
+                prof_quads_scanned_.fetch_add(hi - lo,
+                                              std::memory_order_relaxed);
+              }
               return;
             }
+            std::uint64_t blocks_scanned = 0, blocks_skipped = 0;
+            std::uint64_t quads_scanned = 0, quads_skipped = 0;
+            std::uint64_t quads_block_skipped = 0;
             for (std::size_t bi = block_at(lo); bi < root_blocks_.size();
                  ++bi) {
               const RootBlock& rb = root_blocks_[bi];
               if (rb.begin >= hi) break;
-              if (!root_block_moved(pairs_[rb.pair])) continue;
+              const std::size_t b = rb.begin < lo ? lo : rb.begin;
+              const std::size_t e = rb.end < hi ? rb.end : hi;
+              if (!root_block_moved(pairs_[rb.pair])) {
+                if (prof) {
+                  ++blocks_skipped;
+                  quads_block_skipped += e > b ? e - b : 0;
+                }
+                continue;
+              }
+              if (prof) ++blocks_scanned;
               const bool root_moved =
                   pw_root_moved_[rb.pair].load(std::memory_order_relaxed) !=
                   0;
-              const std::size_t b = rb.begin < lo ? lo : rb.begin;
-              const std::size_t e = rb.end < hi ? rb.end : hi;
               for (std::size_t idx = b; idx < e; ++idx) {
                 const Quad t = quads[idx];
-                if (!root_moved && !square_window_moved(t)) continue;
+                if (!root_moved && !square_window_moved(t)) {
+                  if (prof) ++quads_skipped;
+                  continue;
+                }
+                if (prof) ++quads_scanned;
                 scan_one(t, idx);
               }
+            }
+            if (prof) {
+              prof_blocks_scanned_.fetch_add(blocks_scanned,
+                                             std::memory_order_relaxed);
+              prof_blocks_skipped_.fetch_add(blocks_skipped,
+                                             std::memory_order_relaxed);
+              prof_quads_scanned_.fetch_add(quads_scanned,
+                                            std::memory_order_relaxed);
+              prof_quads_skipped_.fetch_add(quads_skipped,
+                                            std::memory_order_relaxed);
+              prof_quads_block_skipped_.fetch_add(quads_block_skipped,
+                                                  std::memory_order_relaxed);
             }
           });
     }
     // Apply after the barrier: one write per improved cell, all distinct.
     const std::size_t logged = pw_log_count_.load(std::memory_order_relaxed);
+    if (prof_ != nullptr) prof_->pw_log_entries = logged;
     if (frontier_enabled_) {
       // This square consumed all accumulated movement marks; the next one
       // must see only its own applies plus the next activate's writes.
@@ -1298,10 +1357,13 @@ class Engine final : public IEngine {
       const bool use_frontier = frontier_enabled_;
       const bool cursor = options_.pebble_cursor;
       if (use_frontier) update_contained_counts();
+      const bool prof = prof_ != nullptr;
+      if (prof) prof_->pebble_pairs_total += w_end - w_begin;
       machine_.run_blocks(
           static_cast<std::int64_t>(w_end - w_begin),
           [&, w_begin = w_begin](std::int64_t lo, std::int64_t hi) {
             std::uint64_t ops = 0;
+            std::uint64_t pairs_scanned = 0, pairs_skipped = 0;
             for (std::int64_t idx = lo; idx < hi; ++idx) {
               const std::size_t at = w_begin + static_cast<std::size_t>(idx);
               const Pair pr = pairs_[at];
@@ -1311,11 +1373,15 @@ class Engine final : public IEngine {
                 // or the w of a contained gap (last pebble).
                 const bool pw_moved =
                     root_dirty_[at].load(std::memory_order_relaxed) != 0;
-                if (!pw_moved && !gap_w_moved(pr.i, pr.j)) continue;
+                if (!pw_moved && !gap_w_moved(pr.i, pr.j)) {
+                  if (prof) ++pairs_skipped;
+                  continue;
+                }
                 if (pw_moved) {
                   root_dirty_[at].store(0, std::memory_order_relaxed);
                 }
               }
+              if (prof) ++pairs_scanned;
               const Cost old_value = w_(pr.i, pr.j);
               const Cost best =
                   cursor ? pebble_scan_fast(pr.i, pr.j, old_value)
@@ -1325,10 +1391,17 @@ class Engine final : public IEngine {
                     Delta{static_cast<std::uint32_t>(at), best};
               }
             }
+            if (prof) {
+              prof_pairs_scanned_.fetch_add(pairs_scanned,
+                                            std::memory_order_relaxed);
+              prof_pairs_skipped_.fetch_add(pairs_skipped,
+                                            std::memory_order_relaxed);
+            }
           });
     }
     // Apply after the barrier; the logged pairs are the next frontier.
     const std::size_t logged = w_log_count_.load(std::memory_order_relaxed);
+    if (prof_ != nullptr) prof_->w_log_entries = logged;
     if (frontier_enabled_) frontier_.clear();
     Cost* wraw = w_.data();
     for (std::size_t k = 0; k < logged; ++k) {
@@ -1338,6 +1411,44 @@ class Engine final : public IEngine {
       if (frontier_enabled_) frontier_.push_back(pr);
     }
     return logged;
+  }
+
+  // ---- Per-step profiling (options_.profile) -----------------------------
+  // Parallel sweep lambdas accumulate block-local counters and flush them
+  // to these relaxed atomics; `end_profile` loads the totals into the
+  // iteration's StepProfile after the last barrier. Serial call sites
+  // (the activate density decision, the mark-grid update choice, the
+  // post-barrier log totals) write `prof_` directly.
+
+  void begin_profile() {
+    profiles_.emplace_back();
+    prof_ = &profiles_.back();
+    prof_->iteration = iteration_;
+    prof_blocks_scanned_.store(0, std::memory_order_relaxed);
+    prof_blocks_skipped_.store(0, std::memory_order_relaxed);
+    prof_quads_scanned_.store(0, std::memory_order_relaxed);
+    prof_quads_skipped_.store(0, std::memory_order_relaxed);
+    prof_quads_block_skipped_.store(0, std::memory_order_relaxed);
+    prof_pairs_scanned_.store(0, std::memory_order_relaxed);
+    prof_pairs_skipped_.store(0, std::memory_order_relaxed);
+  }
+
+  void end_profile() {
+    prof_->square_blocks_scanned =
+        prof_blocks_scanned_.load(std::memory_order_relaxed);
+    prof_->square_blocks_skipped =
+        prof_blocks_skipped_.load(std::memory_order_relaxed);
+    prof_->square_quads_scanned =
+        prof_quads_scanned_.load(std::memory_order_relaxed);
+    prof_->square_quads_skipped =
+        prof_quads_skipped_.load(std::memory_order_relaxed);
+    prof_->square_quads_block_skipped =
+        prof_quads_block_skipped_.load(std::memory_order_relaxed);
+    prof_->pebble_pairs_scanned =
+        prof_pairs_scanned_.load(std::memory_order_relaxed);
+    prof_->pebble_pairs_skipped =
+        prof_pairs_skipped_.load(std::memory_order_relaxed);
+    prof_ = nullptr;
   }
 
   std::shared_ptr<const EngineShape<Table>> shape_;
@@ -1389,6 +1500,21 @@ class Engine final : public IEngine {
   std::vector<MarkDelta> mark_delta_;
   bool square_grids_valid_ = false;
   bool pebble_grids_valid_ = false;
+
+  // Profiling state (see begin_profile / end_profile above). `prof_` is
+  // non-null only inside a profiled iterate(); every hot-path counter
+  // increment is guarded by a hoisted `prof` bool, so the default
+  // (profile off) takes no extra work.
+  bool profile_ = false;
+  std::vector<StepProfile> profiles_;
+  StepProfile* prof_ = nullptr;
+  std::atomic<std::uint64_t> prof_blocks_scanned_{0};
+  std::atomic<std::uint64_t> prof_blocks_skipped_{0};
+  std::atomic<std::uint64_t> prof_quads_scanned_{0};
+  std::atomic<std::uint64_t> prof_quads_skipped_{0};
+  std::atomic<std::uint64_t> prof_quads_block_skipped_{0};
+  std::atomic<std::uint64_t> prof_pairs_scanned_{0};
+  std::atomic<std::uint64_t> prof_pairs_skipped_{0};
 
   std::size_t iteration_ = 0;
 };

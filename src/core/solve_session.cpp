@@ -79,6 +79,11 @@ std::size_t SolveSession::pw_cell_count() const {
   return plan_->pw_cell_count();
 }
 
+const std::vector<StepProfile>& SolveSession::step_profile() const {
+  static const std::vector<StepProfile> kEmpty;
+  return engine_ != nullptr ? engine_->step_profiles() : kEmpty;
+}
+
 SublinearResult SolveSession::finish() {
   require_prepared("finish()");
   SublinearResult result;

@@ -87,6 +87,13 @@ class SolveSession {
   /// trivial plans).
   [[nodiscard]] std::size_t pw_cell_count() const;
 
+  /// One `StepProfile` per iteration run since the last `reset`, in
+  /// order — empty unless the plan's options set
+  /// `SublinearOptions::profile` (and always empty for trivial n == 1
+  /// plans, which run no iterations). Readable mid-stepping and after
+  /// `finish`.
+  [[nodiscard]] const std::vector<StepProfile>& step_profile() const;
+
   /// The PRAM simulator carrying the work/depth ledger and (optionally)
   /// the CREW conformance checker.
   [[nodiscard]] const pram::Machine& machine() const noexcept {

@@ -108,8 +108,51 @@ struct SublinearOptions {
   /// delta when sparse (rank-update row passes), rebuilt from scratch when
   /// dense — bit-identical counts either way.
   bool incremental_marks = true;
+  /// Per-step engine profiling: record a `StepProfile` per iteration
+  /// (frontier density, blocks/quads/pairs skipped vs scanned,
+  /// incremental-mark updates vs rebuilds, write-log sizes), readable
+  /// through `SolveSession::step_profile()`. Off by default; when off
+  /// the engine takes no profiling branches at all, so results, timing
+  /// and the ledger are untouched (asserted in the fastpath suite).
+  /// Keyed into `serve::PlanKey` so profiled and unprofiled sessions
+  /// never share a pool.
+  bool profile = false;
   /// Host execution / accounting configuration.
   pram::MachineOptions machine;
+};
+
+/// One iteration's engine profile (`SublinearOptions::profile`). Counters
+/// cover the fast sweep paths only — instrumented / reference sweeps
+/// leave them zero (trivially consistent). Invariants asserted in tests:
+/// `square_quads_scanned + square_quads_skipped + square_quads_block_skipped
+/// == square_quads_total` and
+/// `pebble_pairs_scanned + pebble_pairs_skipped == pebble_pairs_total`.
+struct StepProfile {
+  std::size_t iteration = 0;  ///< 1-based, matching IterationTrace.
+  // a-activate frontier density: the sweep walks the frontier when its
+  // total site count undercuts the full split-site count.
+  std::uint64_t frontier_sites = 0;
+  std::uint64_t total_split_sites = 0;
+  bool activate_used_frontier = false;
+  // a-square root-major sweep: whole root blocks skipped by the
+  // containment count vs scanned, and the quad-level breakdown.
+  std::uint64_t square_blocks_scanned = 0;
+  std::uint64_t square_blocks_skipped = 0;
+  std::uint64_t square_quads_total = 0;
+  std::uint64_t square_quads_scanned = 0;
+  std::uint64_t square_quads_skipped = 0;        ///< per-quad window test
+  std::uint64_t square_quads_block_skipped = 0;  ///< inside a skipped block
+  // a-pebble frontier sweep: pairs skipped by the gap-w mark test.
+  std::uint64_t pebble_pairs_total = 0;
+  std::uint64_t pebble_pairs_scanned = 0;
+  std::uint64_t pebble_pairs_skipped = 0;
+  // Incremental mark-grid maintenance: delta applications vs full
+  // parallel rebuilds (density fallback or invalidated grids).
+  std::uint64_t mark_updates_incremental = 0;
+  std::uint64_t mark_updates_rebuilt = 0;
+  // Delta-buffer write-log sizes (entries applied after the barrier).
+  std::uint64_t pw_log_entries = 0;
+  std::uint64_t w_log_entries = 0;
 };
 
 /// Per-iteration progress counters (experiment E5/E8 traces).

@@ -1,0 +1,11 @@
+#include "obs/clock.hpp"
+
+namespace subdp::obs {
+
+std::shared_ptr<const Clock> default_clock() {
+  static const std::shared_ptr<const Clock> instance =
+      std::make_shared<SteadyClock>();
+  return instance;
+}
+
+}  // namespace subdp::obs

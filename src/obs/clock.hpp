@@ -1,0 +1,70 @@
+// Monotonic-clock seam for the serving stack.
+//
+// Everything in serve/ that reads time (deadline expiry, queue-wait and
+// stage latencies, trace-event timestamps) goes through an obs::Clock so
+// tests can drive time deterministically instead of sleeping. Production
+// code uses the process-wide SteadyClock singleton (`default_clock()`);
+// tests inject a ManualClock through `ServiceOptions::clock` and advance
+// it explicitly.
+
+#ifndef SUBDP_OBS_CLOCK_HPP_
+#define SUBDP_OBS_CLOCK_HPP_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace subdp::obs {
+
+/// A monotonic time source. Implementations must be thread-safe: `now()`
+/// is called concurrently from every service worker.
+class Clock {
+ public:
+  using time_point = std::chrono::steady_clock::time_point;
+  using duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+
+  [[nodiscard]] virtual time_point now() const = 0;
+};
+
+/// The real monotonic clock.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] time_point now() const override {
+    return std::chrono::steady_clock::now();
+  }
+};
+
+/// A manually advanced clock for deterministic tests. Starts at the
+/// steady-clock epoch; `advance` and `set` are atomic, so readers on
+/// other threads always see a consistent (monotonic, if the test only
+/// advances) time.
+class ManualClock final : public Clock {
+ public:
+  ManualClock() : ns_(0) {}
+  explicit ManualClock(time_point start)
+      : ns_(start.time_since_epoch().count()) {}
+
+  [[nodiscard]] time_point now() const override {
+    return time_point(duration(ns_.load(std::memory_order_acquire)));
+  }
+
+  void advance(duration d) {
+    ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+  void set(time_point t) {
+    ns_.store(t.time_since_epoch().count(), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<duration::rep> ns_;
+};
+
+/// The shared SteadyClock every service uses unless one is injected.
+[[nodiscard]] std::shared_ptr<const Clock> default_clock();
+
+}  // namespace subdp::obs
+
+#endif  // SUBDP_OBS_CLOCK_HPP_

@@ -1,0 +1,67 @@
+#include "obs/latency_histogram.hpp"
+
+#include <bit>
+#include <limits>
+
+namespace subdp::obs {
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t histogram_bucket_lo(std::size_t index) {
+  return index == 0 ? 0 : std::uint64_t{1} << (index - 1);
+}
+
+std::uint64_t histogram_bucket_hi(std::size_t index) {
+  if (index == 0) return 0;
+  if (index == kHistogramBuckets - 1) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return (std::uint64_t{1} << index) - 1;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(histogram_bucket_lo(b));
+      const double hi = static_cast<double>(histogram_bucket_hi(b));
+      const double into = target - static_cast<double>(cumulative);
+      const double fraction = into / static_cast<double>(buckets[b]);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative = next;
+  }
+  // q == 1 with rounding: the highest populated bucket's upper edge.
+  for (std::size_t b = kHistogramBuckets; b-- > 0;) {
+    if (buckets[b] != 0) return static_cast<double>(histogram_bucket_hi(b));
+  }
+  return 0.0;
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot out;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    out.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace subdp::obs

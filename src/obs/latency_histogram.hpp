@@ -1,0 +1,82 @@
+// Lock-free log2-bucket latency histograms.
+//
+// A LatencyHistogram is a fixed array of 65 atomic counters: bucket 0
+// holds exact zeros, bucket k (k >= 1) holds values in [2^(k-1), 2^k - 1].
+// `record` is two relaxed fetch_adds plus a bit_width — cheap enough for
+// the service hot path. `snapshot()` returns a plain-value
+// HistogramSnapshot that supports merging and quantile extraction
+// (linear interpolation inside the matched bucket), which is what the
+// metrics surface and the bench p50/p95/p99 columns consume.
+//
+// Units are the caller's choice; the serving stack records nanoseconds.
+
+#ifndef SUBDP_OBS_LATENCY_HISTOGRAM_HPP_
+#define SUBDP_OBS_LATENCY_HISTOGRAM_HPP_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace subdp::obs {
+
+/// 1 bucket for zero + one per bit of a uint64 value.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Bucket index for `value`: 0 for 0, else bit_width(value) — so bucket
+/// k >= 1 covers [2^(k-1), 2^k - 1].
+[[nodiscard]] std::size_t histogram_bucket(std::uint64_t value);
+
+/// Inclusive [lo, hi] value range of bucket `index`.
+[[nodiscard]] std::uint64_t histogram_bucket_lo(std::size_t index);
+[[nodiscard]] std::uint64_t histogram_bucket_hi(std::size_t index);
+
+/// A plain-value copy of a histogram's state: mergeable, queryable,
+/// trivially copyable across threads.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  /// Element-wise accumulate `other` into this snapshot.
+  void merge(const HistogramSnapshot& other);
+
+  /// The q-quantile (q in [0, 1]) by cumulative bucket walk with linear
+  /// interpolation inside the matched bucket. Returns 0 on an empty
+  /// snapshot.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// The live, concurrently-writable histogram.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void record(std::uint64_t value) {
+    buckets_[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace subdp::obs
+
+#endif  // SUBDP_OBS_LATENCY_HISTOGRAM_HPP_

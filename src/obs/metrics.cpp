@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <set>
+
+namespace subdp::obs {
+
+namespace {
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  for (Gauge& g : gauges_) {
+    if (g.name == name) {
+      g.value = value;
+      return;
+    }
+  }
+  gauges_.push_back({name, value});
+}
+
+void MetricsRegistry::set_histogram(const std::string& name,
+                                    const std::string& labels,
+                                    const HistogramSnapshot& snapshot) {
+  for (Histogram& h : histograms_) {
+    if (h.name == name && h.labels == labels) {
+      h.snapshot = snapshot;
+      return;
+    }
+  }
+  histograms_.push_back({name, labels, snapshot});
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  std::set<std::string> typed;  // one # TYPE line per metric name
+  for (const Gauge& g : gauges_) {
+    if (typed.insert(g.name).second) {
+      out += "# TYPE " + g.name + " gauge\n";
+    }
+    out += g.name + " " + format_double(g.value) + "\n";
+  }
+  for (const Histogram& h : histograms_) {
+    if (typed.insert(h.name).second) {
+      out += "# TYPE " + h.name + " histogram\n";
+    }
+    const std::string label_prefix =
+        h.labels.empty() ? std::string() : h.labels + ",";
+    // Cumulative buckets up to the highest populated one, then +Inf.
+    std::size_t highest = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.snapshot.buckets[b] != 0) highest = b;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b <= highest; ++b) {
+      cumulative += h.snapshot.buckets[b];
+      out += h.name + "_bucket{" + label_prefix + "le=\"" +
+             std::to_string(histogram_bucket_hi(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    const std::string braces =
+        h.labels.empty() ? std::string() : "{" + h.labels + "}";
+    out += h.name + "_bucket{" + label_prefix + "le=\"+Inf\"} " +
+           std::to_string(h.snapshot.count) + "\n";
+    out += h.name + "_count" + braces + " " +
+           std::to_string(h.snapshot.count) + "\n";
+    out += h.name + "_sum" + braces + " " + std::to_string(h.snapshot.sum) +
+           "\n";
+    out += h.name + "_p50" + braces + " " +
+           format_double(h.snapshot.p50()) + "\n";
+    out += h.name + "_p95" + braces + " " +
+           format_double(h.snapshot.p95()) + "\n";
+    out += h.name + "_p99" + braces + " " +
+           format_double(h.snapshot.p99()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n  \"gauges\": {";
+  bool first = true;
+  for (const Gauge& g : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"";
+    append_json_escaped(out, g.name);
+    out += "\": " + format_double(g.value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": [";
+  first = true;
+  for (const Histogram& h : histograms_) {
+    out += first ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    append_json_escaped(out, h.name);
+    out += "\", \"labels\": \"";
+    append_json_escaped(out, h.labels);
+    out += "\", \"count\": " + std::to_string(h.snapshot.count) +
+           ", \"sum\": " + std::to_string(h.snapshot.sum) +
+           ", \"p50\": " + format_double(h.snapshot.p50()) +
+           ", \"p95\": " + format_double(h.snapshot.p95()) +
+           ", \"p99\": " + format_double(h.snapshot.p99()) +
+           ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.snapshot.buckets[b] == 0) continue;
+      if (!first_bucket) out += ", ";
+      out += "[" + std::to_string(histogram_bucket_lo(b)) + ", " +
+             std::to_string(histogram_bucket_hi(b)) + ", " +
+             std::to_string(h.snapshot.buckets[b]) + "]";
+      first_bucket = false;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace subdp::obs

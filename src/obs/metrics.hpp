@@ -1,0 +1,63 @@
+// Metrics export surface.
+//
+// A MetricsRegistry is a plain value bag: counters/gauges by name plus
+// labelled HistogramSnapshots, rendered to either Prometheus text
+// exposition format (`to_prometheus`) or a JSON dump (`to_json`). The
+// service fills one on demand (`SolverService::metrics()`) from its
+// ServiceStats counters and stage histograms; the bench writes the JSON
+// form via `--metrics-json=<path>`, and a scraper would serve the
+// Prometheus form. The registry itself is not thread-safe — it is a
+// snapshot assembled by one thread from atomic sources.
+
+#ifndef SUBDP_OBS_METRICS_HPP_
+#define SUBDP_OBS_METRICS_HPP_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+
+namespace subdp::obs {
+
+class MetricsRegistry {
+ public:
+  /// Adds (or overwrites) a numeric metric. Rendered as a Prometheus
+  /// gauge; insertion order is preserved in both outputs.
+  void set_gauge(const std::string& name, double value);
+
+  /// Adds a labelled histogram, e.g.
+  /// `set_histogram("subdp_solve_ns", "stage=\"solve\"", snap)`.
+  /// `labels` is a raw Prometheus label body (no braces), may be empty.
+  void set_histogram(const std::string& name, const std::string& labels,
+                     const HistogramSnapshot& snapshot);
+
+  /// Prometheus text exposition format: each gauge as `# TYPE ... gauge`
+  /// + value, each histogram as cumulative `_bucket{le="..."}` lines up
+  /// to its highest populated bucket plus `+Inf`, `_count`, `_sum`, and
+  /// `_p50`/`_p95`/`_p99` convenience gauges.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// JSON dump: {"gauges": {...}, "histograms": [{name, labels, count,
+  /// sum, p50, p95, p99, buckets: [[lo, hi, count], ...]}]}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Gauge {
+    std::string name;
+    double value = 0.0;
+  };
+  struct Histogram {
+    std::string name;
+    std::string labels;
+    HistogramSnapshot snapshot;
+  };
+
+  std::vector<Gauge> gauges_;
+  std::vector<Histogram> histograms_;
+};
+
+}  // namespace subdp::obs
+
+#endif  // SUBDP_OBS_METRICS_HPP_

@@ -1,0 +1,199 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <thread>
+
+namespace subdp::obs {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSubmit:
+      return "submit";
+    case TraceEventKind::kEnqueue:
+      return "enqueue";
+    case TraceEventKind::kReject:
+      return "reject";
+    case TraceEventKind::kDequeue:
+      return "dequeue";
+    case TraceEventKind::kExpire:
+      return "expire";
+    case TraceEventKind::kColdDefer:
+      return "cold_defer";
+    case TraceEventKind::kPlanReady:
+      return "plan_ready";
+    case TraceEventKind::kPlanAcquired:
+      return "plan_acquired";
+    case TraceEventKind::kSolveBegin:
+      return "solve_begin";
+    case TraceEventKind::kSolveEnd:
+      return "solve_end";
+    case TraceEventKind::kResolve:
+      return "resolve";
+    case TraceEventKind::kFail:
+      return "fail";
+  }
+  return "unknown";
+}
+
+const char* to_string(PlanSource source) {
+  switch (source) {
+    case PlanSource::kNone:
+      return "none";
+    case PlanSource::kCacheHit:
+      return "cache-hit";
+    case PlanSource::kSnapshotHit:
+      return "snapshot-hit";
+    case PlanSource::kColdBuild:
+      return "cold-build";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t stripes, std::size_t capacity_per_stripe)
+    : capacity_(capacity_per_stripe),
+      stripes_(stripes == 0 ? 1 : stripes) {
+  for (Stripe& stripe : stripes_) {
+    stripe.slots = std::make_unique<Slot[]>(capacity_);
+  }
+}
+
+TraceRing::Stripe& TraceRing::stripe_for_this_thread() {
+  // Long-lived threads (service workers, the builder) hash to a stable
+  // stripe, so steady-state recording is contention-free in practice;
+  // collisions only cost fetch_add contention, never correctness.
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripes_[h % stripes_.size()];
+}
+
+bool TraceRing::record(const TraceEvent& event) {
+  Stripe& stripe = stripe_for_this_thread();
+  const std::size_t idx =
+      stripe.reserved.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Slot& slot = stripe.slots[idx];
+  slot.event = event;
+  slot.ready.store(1, std::memory_order_release);
+  return true;
+}
+
+std::vector<TraceEvent> TraceRing::collect() const {
+  std::vector<TraceEvent> out;
+  for (const Stripe& stripe : stripes_) {
+    const std::size_t used =
+        std::min(stripe.reserved.load(std::memory_order_acquire), capacity_);
+    for (std::size_t k = 0; k < used; ++k) {
+      const Slot& slot = stripe.slots[k];
+      // A claimed-but-unpublished slot (writer between the fetch_add and
+      // the release store) is skipped rather than read torn.
+      if (slot.ready.load(std::memory_order_acquire) == 0) continue;
+      out.push_back(slot.event);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.timestamp_ns != b.timestamp_ns
+                         ? a.timestamp_ns < b.timestamp_ns
+                         : a.job_id < b.job_id;
+            });
+  return out;
+}
+
+namespace {
+
+void append_event_json(std::string& out, const TraceEvent& e, bool first) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s    {\"name\": \"%s\", \"ph\": \"i\", \"s\": \"t\", "
+      "\"ts\": %.3f, \"pid\": 1, \"tid\": %llu, "
+      "\"args\": {\"source\": \"%s\"}}",
+      first ? "" : ",\n", to_string(e.kind),
+      static_cast<double>(e.timestamp_ns) / 1000.0,
+      static_cast<unsigned long long>(e.job_id), to_string(e.source));
+  out += buf;
+}
+
+const char* outcome_name(TraceEventKind terminal) {
+  switch (terminal) {
+    case TraceEventKind::kResolve:
+      return "completed";
+    case TraceEventKind::kReject:
+      return "rejected";
+    case TraceEventKind::kExpire:
+      return "expired";
+    case TraceEventKind::kFail:
+      return "failed";
+    default:
+      return "in-flight";
+  }
+}
+
+}  // namespace
+
+std::string render_chrome_trace(const std::vector<TraceEvent>& events) {
+  // Per-job span bookkeeping: first/last timestamp, the latest terminal
+  // kind seen, and whether the job ever took the cold-deferred path.
+  struct JobSpan {
+    std::uint64_t first_ns = 0;
+    std::uint64_t last_ns = 0;
+    TraceEventKind terminal = TraceEventKind::kSubmit;
+    bool has_terminal = false;
+    bool cold_deferred = false;
+    bool seen = false;
+  };
+  std::map<std::uint64_t, JobSpan> spans;
+  for (const TraceEvent& e : events) {
+    JobSpan& span = spans[e.job_id];
+    if (!span.seen) {
+      span.first_ns = e.timestamp_ns;
+      span.seen = true;
+    }
+    span.first_ns = std::min(span.first_ns, e.timestamp_ns);
+    span.last_ns = std::max(span.last_ns, e.timestamp_ns);
+    if (e.kind == TraceEventKind::kColdDefer) span.cold_deferred = true;
+    if (e.kind == TraceEventKind::kResolve ||
+        e.kind == TraceEventKind::kReject ||
+        e.kind == TraceEventKind::kExpire ||
+        e.kind == TraceEventKind::kFail) {
+      span.terminal = e.kind;
+      span.has_terminal = true;
+    }
+  }
+
+  std::string out = "{\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& [job_id, span] : spans) {
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    {\"name\": \"job %llu (%s)\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %llu, "
+        "\"args\": {\"outcome\": \"%s\", \"cold_deferred\": %s}}",
+        first ? "" : ",\n", static_cast<unsigned long long>(job_id),
+        outcome_name(span.has_terminal ? span.terminal
+                                       : TraceEventKind::kSubmit),
+        static_cast<double>(span.first_ns) / 1000.0,
+        static_cast<double>(span.last_ns - span.first_ns) / 1000.0,
+        static_cast<unsigned long long>(job_id),
+        outcome_name(span.has_terminal ? span.terminal
+                                       : TraceEventKind::kSubmit),
+        span.cold_deferred ? "true" : "false");
+    out += buf;
+    first = false;
+  }
+  for (const TraceEvent& e : events) {
+    append_event_json(out, e, first);
+    first = false;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace subdp::obs

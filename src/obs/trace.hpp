@@ -1,0 +1,118 @@
+// Per-job lifecycle trace spans.
+//
+// Every SolverService job emits timestamped TraceEvents (submit →
+// enqueue → dequeue → plan acquired → solve begin/end → resolve, plus
+// the reject / expire / cold-defer / fail paths) into a TraceRing: a
+// fixed-capacity, lock-free, striped ring buffer. Writers claim a slot
+// with one relaxed fetch_add on their stripe; a full stripe counts the
+// event as dropped and returns — recording never blocks the hot path
+// and never overwrites an earlier event (slots are claim-once, so a
+// collected event is always whole). `render_chrome_trace` turns a
+// collected event list into Chrome trace-event JSON ("traceEvents"
+// array: one instant event per lifecycle point plus one complete span
+// per job), loadable in chrome://tracing or Perfetto.
+
+#ifndef SUBDP_OBS_TRACE_HPP_
+#define SUBDP_OBS_TRACE_HPP_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace subdp::obs {
+
+/// A job lifecycle point. kResolve / kReject / kExpire / kFail are the
+/// terminal kinds; exactly one of them ends every job's span.
+enum class TraceEventKind : std::uint8_t {
+  kSubmit,        ///< accepted by a submit/solve_all call
+  kEnqueue,       ///< admitted to the dispatch queue
+  kReject,        ///< shed at admission (queue full, kReject policy)
+  kDequeue,       ///< picked up by a worker
+  kExpire,        ///< deadline already passed at pickup
+  kColdDefer,     ///< handed to the background builder (cold plan)
+  kPlanReady,     ///< builder finished the cold build
+  kPlanAcquired,  ///< worker holds the plan (source says from where)
+  kSolveBegin,    ///< session lease acquired, solve starting
+  kSolveEnd,      ///< solve finished
+  kResolve,       ///< result delivered (future / batch slot)
+  kFail,          ///< solve threw; error delivered
+};
+
+[[nodiscard]] const char* to_string(TraceEventKind kind);
+
+/// Where a job's plan came from, attached to kPlanAcquired / kPlanReady.
+enum class PlanSource : std::uint8_t {
+  kNone,         ///< not a plan event
+  kCacheHit,     ///< warm PlanCache entry
+  kSnapshotHit,  ///< loaded from the on-disk snapshot store
+  kColdBuild,    ///< built from scratch
+};
+
+[[nodiscard]] const char* to_string(PlanSource source);
+
+struct TraceEvent {
+  std::uint64_t job_id = 0;
+  std::uint64_t timestamp_ns = 0;  ///< clock time since steady epoch
+  TraceEventKind kind = TraceEventKind::kSubmit;
+  PlanSource source = PlanSource::kNone;
+};
+
+/// Fixed-capacity, striped, lock-free event sink. Each stripe is an
+/// independent claim-once ring segment: `reserved` is bumped with a
+/// relaxed fetch_add; claims past the stripe capacity increment the
+/// shared drop counter instead (drop-newest, counted exactly). A per-slot
+/// release/acquire `ready` flag keeps collection torn-free without any
+/// lock on the write side.
+class TraceRing {
+ public:
+  TraceRing(std::size_t stripes, std::size_t capacity_per_stripe);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Record one event from any thread. Never blocks; returns false when
+  /// the calling thread's stripe is full (the drop was counted).
+  bool record(const TraceEvent& event);
+
+  /// All fully-written events across stripes, ordered by timestamp.
+  [[nodiscard]] std::vector<TraceEvent> collect() const;
+
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t stripes() const { return stripes_.size(); }
+  [[nodiscard]] std::size_t capacity_per_stripe() const { return capacity_; }
+
+ private:
+  struct Slot {
+    TraceEvent event;
+    std::atomic<std::uint32_t> ready{0};
+  };
+
+  struct Stripe {
+    std::atomic<std::size_t> reserved{0};
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  [[nodiscard]] Stripe& stripe_for_this_thread();
+
+  std::size_t capacity_;
+  std::vector<Stripe> stripes_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Renders collected events as Chrome trace-event JSON: an instant event
+/// ("ph":"i") per lifecycle point (tid = job id, plan source in args)
+/// plus a complete span ("ph":"X") per job from its first to its last
+/// event, labelled with the job's outcome (completed / rejected /
+/// expired / failed) and whether it took the cold-deferred path.
+[[nodiscard]] std::string render_chrome_trace(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace subdp::obs
+
+#endif  // SUBDP_OBS_TRACE_HPP_

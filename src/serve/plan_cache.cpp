@@ -1,5 +1,6 @@
 #include "serve/plan_cache.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "snapshot/snapshot_store.hpp"
@@ -21,6 +22,7 @@ PlanKey PlanKey::make(std::size_t n,
   key.frontier_sweeps = options.frontier_sweeps;
   key.pebble_cursor = options.pebble_cursor;
   key.incremental_marks = options.incremental_marks;
+  key.profile = options.profile;
   key.backend = options.machine.backend;
   key.check_crew = options.machine.check_crew;
   key.record_costs = options.machine.record_costs;
@@ -38,7 +40,8 @@ PlanCache::PlanCache(std::size_t capacity, std::size_t sessions_per_plan,
 }
 
 std::shared_ptr<SessionPool> PlanCache::acquire(
-    std::size_t n, const core::SublinearOptions& options, bool* built) {
+    std::size_t n, const core::SublinearOptions& options, bool* built,
+    BuildSource* source) {
   const PlanKey key = PlanKey::make(n, options);
   std::shared_ptr<Slot> slot;
   {
@@ -56,7 +59,7 @@ std::shared_ptr<SessionPool> PlanCache::acquire(
       insert_mru(key, slot);
     }
   }
-  return finish_build(key, slot, n, options);
+  return finish_build(key, slot, n, options, source);
 }
 
 std::shared_ptr<SessionPool> PlanCache::try_acquire(
@@ -82,7 +85,8 @@ std::shared_ptr<SessionPool> PlanCache::try_acquire(
 }
 
 std::shared_ptr<SessionPool> PlanCache::build(
-    std::size_t n, const core::SublinearOptions& options) {
+    std::size_t n, const core::SublinearOptions& options,
+    BuildSource* source) {
   const PlanKey key = PlanKey::make(n, options);
   std::shared_ptr<Slot> slot;
   {
@@ -98,31 +102,57 @@ std::shared_ptr<SessionPool> PlanCache::build(
       insert_mru(key, slot);
     }
   }
-  return finish_build(key, slot, n, options);
+  return finish_build(key, slot, n, options, source);
+}
+
+void PlanCache::set_build_observer(
+    std::shared_ptr<const obs::Clock> clock,
+    std::function<void(const BuildReport&)> observer) {
+  observer_clock_ = std::move(clock);
+  build_observer_ = std::move(observer);
 }
 
 std::shared_ptr<SessionPool> PlanCache::finish_build(
     const PlanKey& key, const std::shared_ptr<Slot>& slot, std::size_t n,
-    const core::SublinearOptions& options) {
+    const core::SublinearOptions& options, BuildSource* source) {
   // The expensive O(n^2 B^2) build happens here, with the cache-wide
   // lock released: only same-key requesters block (on build_mutex) and
   // then share the finished pool.
   const std::lock_guard<std::mutex> build_lock(slot->build_mutex);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (slot->pool != nullptr) return slot->pool;
+    if (slot->pool != nullptr) {
+      if (source != nullptr) *source = BuildSource::kWarm;
+      return slot->pool;
+    }
   }
+  const bool timing =
+      build_observer_ != nullptr && observer_clock_ != nullptr;
+  const auto elapsed_ns = [](const obs::Clock::time_point a,
+                             const obs::Clock::time_point b) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+  BuildReport report;
   std::shared_ptr<SessionPool> pool;
   try {
     // Persistence tier first: a verified snapshot replaces the O(n^2 B^2)
     // geometry build outright; a fresh build is queued for write-back so
     // the *next* process (or a post-eviction re-request) loads instead.
+    const obs::Clock::time_point t0 =
+        timing ? observer_clock_->now() : obs::Clock::time_point();
     std::shared_ptr<const core::SolvePlan> plan;
     if (store_ != nullptr) plan = store_->load(n, options);
     const bool loaded = plan != nullptr;
+    if (timing && loaded) {
+      report.snapshot_load_ns = elapsed_ns(t0, observer_clock_->now());
+    }
     if (!loaded) plan = core::SolvePlan::create(n, options);
     pool = std::make_shared<SessionPool>(std::move(plan), sessions_per_plan_);
     if (store_ != nullptr && !loaded) store_->save_async(pool->plan_ptr());
+    report.source = loaded ? BuildSource::kSnapshot : BuildSource::kBuilt;
+    if (timing) report.total_ns = elapsed_ns(t0, observer_clock_->now());
+    if (source != nullptr) *source = report.source;
   } catch (...) {
     // Plan validation failed: drop the placeholder so a dead entry does
     // not occupy capacity (a retry is a fresh miss).
@@ -134,6 +164,7 @@ std::shared_ptr<SessionPool> PlanCache::finish_build(
     }
     throw;
   }
+  if (build_observer_ != nullptr) build_observer_(report);
   const std::lock_guard<std::mutex> lock(mutex_);
   slot->pool = pool;
   // The placeholder may be gone by now — dropped by a failed same-key

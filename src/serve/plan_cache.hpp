@@ -46,6 +46,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -55,6 +56,7 @@
 
 #include "core/solve_plan.hpp"
 #include "core/solver_types.hpp"
+#include "obs/clock.hpp"
 #include "serve/session_pool.hpp"
 
 namespace subdp::snapshot {
@@ -77,6 +79,11 @@ struct PlanKey {
   bool frontier_sweeps = true;
   bool pebble_cursor = true;
   bool incremental_marks = true;
+  /// Per-step profiling changes what a session records (engine profile
+  /// state), so profiled and unprofiled requests must not share pools —
+  /// the toggle is part of the key even though it leaves plan geometry
+  /// untouched.
+  bool profile = false;
   pram::Backend backend = pram::default_backend();
   bool check_crew = false;
   bool record_costs = true;
@@ -89,8 +96,8 @@ struct PlanKey {
       return std::tuple(k.n, k.variant, k.square_mode, k.termination,
                         k.band_width, k.max_iterations, k.windowed_pebble,
                         k.delta_buffering, k.frontier_sweeps,
-                        k.pebble_cursor, k.incremental_marks, k.backend,
-                        k.check_crew, k.record_costs);
+                        k.pebble_cursor, k.incremental_marks, k.profile,
+                        k.backend, k.check_crew, k.record_costs);
     };
     return tie(a) < tie(b);
   }
@@ -100,6 +107,24 @@ struct PlanKey {
 enum class PlanState {
   kReady,     ///< Plan built; the returned pool serves it.
   kBuilding,  ///< Cold or mid-build; resolve it later via `build`.
+};
+
+/// Where an acquired pool came from, for trace tagging and the build
+/// observer: an already-resident entry, a snapshot loaded from the disk
+/// store, or a from-scratch geometry build.
+enum class BuildSource {
+  kWarm,      ///< Entry was already built (cache hit or shared build).
+  kSnapshot,  ///< Plan decoded from the snapshot store.
+  kBuilt,     ///< Plan built from scratch.
+};
+
+/// One completed plan materialisation (snapshot load or fresh build),
+/// reported to the cache's build observer. `snapshot_load_ns` is nonzero
+/// only for `kSnapshot`.
+struct BuildReport {
+  BuildSource source = BuildSource::kBuilt;
+  std::uint64_t total_ns = 0;          ///< Load-or-build wall time.
+  std::uint64_t snapshot_load_ns = 0;  ///< Store consult time.
 };
 
 /// One consistent snapshot of the cache's counters.
@@ -127,10 +152,11 @@ class PlanCache {
 
   /// The pool (and plan) serving `(n, options)`: most-recently-used bump
   /// on a hit, plan build + LRU eviction on a miss. `built`, when given,
-  /// reports which of the two happened.
+  /// reports which of the two happened; `source`, when given, reports
+  /// where the pool came from (warm / snapshot / fresh build).
   [[nodiscard]] std::shared_ptr<SessionPool> acquire(
       std::size_t n, const core::SublinearOptions& options,
-      bool* built = nullptr);
+      bool* built = nullptr, BuildSource* source = nullptr);
 
   /// Non-blocking lookup (never builds, never waits on a build lock).
   /// A built resident key is a hit: MRU bump, `*state = kReady`, pool
@@ -148,7 +174,18 @@ class PlanCache {
   /// already did. Safe to call for a key that has meanwhile finished
   /// (returns the warm pool) or been evicted (rebuilds and re-inserts).
   [[nodiscard]] std::shared_ptr<SessionPool> build(
-      std::size_t n, const core::SublinearOptions& options);
+      std::size_t n, const core::SublinearOptions& options,
+      BuildSource* source = nullptr);
+
+  /// Observability seam: after installation, every real plan
+  /// materialisation (a snapshot load or a from-scratch build — not a
+  /// warm early-exit) invokes `observer` with its timing, measured on
+  /// `clock`. Install once, before the cache sees concurrent traffic
+  /// (the `SolverService` constructor does this before starting any
+  /// thread); the callback runs on the building thread with no cache
+  /// lock held and must be thread-safe.
+  void set_build_observer(std::shared_ptr<const obs::Clock> clock,
+                          std::function<void(const BuildReport&)> observer);
 
   /// The resident plan for `(n, options)`, or null — no stats recorded,
   /// no LRU reordering (diagnostic lookups, `BatchSolver::plan_for`).
@@ -188,13 +225,17 @@ class PlanCache {
   /// evicted mid-build. Requires `mutex_` *not* held.
   [[nodiscard]] std::shared_ptr<SessionPool> finish_build(
       const PlanKey& key, const std::shared_ptr<Slot>& slot, std::size_t n,
-      const core::SublinearOptions& options);
+      const core::SublinearOptions& options, BuildSource* source);
 
   std::size_t capacity_;
   std::size_t sessions_per_plan_;
   /// Optional persistence tier consulted by `finish_build`; never locked
   /// under `mutex_` (loads and saves happen outside the cache lock).
   std::shared_ptr<snapshot::SnapshotStore> store_;
+  /// Build observer seam (`set_build_observer`); read without a lock, so
+  /// it must be installed before concurrent use.
+  std::shared_ptr<const obs::Clock> observer_clock_;
+  std::function<void(const BuildReport&)> build_observer_;
 
   mutable std::mutex mutex_;
   std::list<Entry> lru_;

@@ -23,6 +23,26 @@ std::shared_ptr<snapshot::SnapshotStore> open_store(
   return std::make_shared<snapshot::SnapshotStore>(snapshot_dir);
 }
 
+obs::PlanSource to_plan_source(BuildSource source) {
+  switch (source) {
+    case BuildSource::kWarm:
+      return obs::PlanSource::kCacheHit;
+    case BuildSource::kSnapshot:
+      return obs::PlanSource::kSnapshotHit;
+    case BuildSource::kBuilt:
+      return obs::PlanSource::kColdBuild;
+  }
+  return obs::PlanSource::kNone;
+}
+
+/// Per-shape histogram label: every field that distinguishes latency
+/// behaviour at a glance (size, layout, square mode) — not the full
+/// PlanKey, which would shard the histograms too finely to read.
+std::string shape_label(std::size_t n, const core::SublinearOptions& opts) {
+  return "n" + std::to_string(n) + "-" + to_string(opts.variant) + "-" +
+         to_string(opts.square_mode);
+}
+
 }  // namespace
 
 core::SublinearOptions SolverService::normalized(
@@ -56,6 +76,23 @@ SolverService::SolverService(ServiceOptions options)
                                              : workers_,
              store_) {
   options_.solver = normalized(options_.solver);
+  clock_ = options_.clock != nullptr ? options_.clock : obs::default_clock();
+  if (options_.trace_capacity != 0) {
+    // One stripe per long-lived thread (workers + builder), plus one of
+    // slack for submitter threads; hashing spreads them well enough.
+    trace_ring_ = std::make_unique<obs::TraceRing>(
+        workers_ + 2, options_.trace_capacity);
+  }
+  // Installed before the prewarm loop and before any thread starts, so
+  // every real plan materialisation — prewarm loads included — feeds the
+  // build/load histograms (the observer contract requires single-threaded
+  // installation).
+  cache_.set_build_observer(clock_, [this](const BuildReport& report) {
+    if (report.source == BuildSource::kSnapshot) {
+      snapshot_load_hist_.record(report.snapshot_load_ns);
+    }
+    plan_build_hist_.record(report.total_ns);
+  });
   if (store_ != nullptr) {
     // Prewarm: resolve every manifest shape under the service options
     // before any thread starts — the first request of a listed shape hits
@@ -141,6 +178,9 @@ std::future<core::SublinearResult> SolverService::submit_job(
   job.has_promise = true;
   job.has_deadline = has_deadline;
   job.deadline = deadline;
+  job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  job.submit_time = clock_->now();
+  trace(job.id, obs::TraceEventKind::kSubmit);
   std::future<core::SublinearResult> future = job.promise.get_future();
   enqueue(std::move(job));
   return future;
@@ -194,6 +234,9 @@ core::BatchResult SolverService::solve_all(
       job.pool = pool;
       job.batch = &call;
       job.slot = idx;
+      job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+      job.submit_time = clock_->now();
+      trace(job.id, obs::TraceEventKind::kSubmit);
       jobs.push_back(std::move(job));  // no deadline: batch jobs bypass
                                        // expiry by construction
     }
@@ -222,9 +265,12 @@ void SolverService::enqueue(Job&& job) {
         // Rejected submissions still count as submitted, so the
         // admission invariant (submitted == completed + rejected +
         // expired) holds without a separate denominator.
-        const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-        ++jobs_submitted_;
-        ++jobs_rejected_;
+        {
+          const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++jobs_submitted_;
+          ++jobs_rejected_;
+        }
+        trace(job.id, obs::TraceEventKind::kReject);
         throw core::AdmissionError(
             core::AdmissionError::Kind::kQueueFull,
             "SolverService::submit: dispatch queue full (" +
@@ -244,6 +290,8 @@ void SolverService::enqueue(Job&& job) {
       const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       ++jobs_submitted_;
     }
+    job.enqueue_time = clock_->now();
+    trace(job.id, obs::TraceEventKind::kEnqueue);
     queue_.push_back(std::move(job));
   }
   queue_cv_.notify_one();
@@ -277,6 +325,8 @@ void SolverService::enqueue(std::deque<Job>&& jobs) {
       queue_not_full_.wait(
           lock, [&] { return queue_.size() < cap || stopping_; });
     }
+    job.enqueue_time = clock_->now();
+    trace(job.id, obs::TraceEventKind::kEnqueue);
     queue_.push_back(std::move(job));
   }
   --batch_fills_;
@@ -313,10 +363,17 @@ void SolverService::worker_loop() {
       // first through the lock takes it, the rest re-wait.
       queue_not_full_.notify_all();
     }
+    const obs::Clock::time_point picked_up = clock_->now();
+    trace(job.id, obs::TraceEventKind::kDequeue);
+    if (!job.queue_wait_recorded) {
+      // Only the first pickup counts: a cold-deferred job's second
+      // dequeue would otherwise double-count its wait.
+      job.queue_wait_recorded = true;
+      queue_wait_hist_.record(elapsed_ns(job.enqueue_time, picked_up));
+    }
     // Deadline gate at pickup (every pickup, including after a cold
     // handoff): an expired job resolves without touching the problem.
-    if (job.has_deadline &&
-        std::chrono::steady_clock::now() >= job.deadline) {
+    if (job.has_deadline && picked_up >= job.deadline) {
       expire_job(job);
       continue;
     }
@@ -335,6 +392,8 @@ void SolverService::worker_loop() {
         // protect.
       } else {
         job.pool = std::move(pool);
+        trace(job.id, obs::TraceEventKind::kPlanAcquired,
+              obs::PlanSource::kCacheHit);
       }
     }
     run_job(job);
@@ -349,6 +408,7 @@ bool SolverService::defer_to_builder(Job&& job) {
       const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       ++jobs_cold_deferred_;
     }
+    trace(job.id, obs::TraceEventKind::kColdDefer);
     builder_queue_.push_back(std::move(job));
   }
   builder_cv_.notify_one();
@@ -371,7 +431,11 @@ void SolverService::builder_loop() {
       // Concurrent cold jobs for one key serialise here on the cache's
       // per-entry build lock and share the single build (the deferring
       // try_acquire already counted the one miss).
-      job.pool = cache_.build(job.problem->size(), job.solve_options);
+      BuildSource source = BuildSource::kWarm;
+      job.pool = cache_.build(job.problem->size(), job.solve_options,
+                              &source);
+      trace(job.id, obs::TraceEventKind::kPlanReady,
+            to_plan_source(source));
     } catch (...) {
       // Plan validation failed: the job's future carries the error,
       // exactly as when workers built inline.
@@ -387,11 +451,18 @@ void SolverService::run_job(Job& job) {
     std::shared_ptr<SessionPool> pool = std::move(job.pool);
     if (pool == nullptr) {
       // Shutdown-tail cold job (builder already joined): build inline.
-      pool = cache_.build(job.problem->size(), job.solve_options);
+      BuildSource source = BuildSource::kWarm;
+      pool = cache_.build(job.problem->size(), job.solve_options, &source);
+      trace(job.id, obs::TraceEventKind::kPlanReady,
+            to_plan_source(source));
     }
     SessionPool::Lease lease = pool->acquire();
     const bool fresh = lease.fresh();
+    trace(job.id, obs::TraceEventKind::kSolveBegin);
+    const obs::Clock::time_point solve_begin = clock_->now();
     core::SublinearResult result = lease->solve(*job.problem);
+    solve_hist_.record(elapsed_ns(solve_begin, clock_->now()));
+    trace(job.id, obs::TraceEventKind::kSolveEnd);
     std::uint64_t work = 0;
     std::uint64_t depth = 0;
     if (job.solve_options.machine.record_costs) {
@@ -413,6 +484,8 @@ void SolverService::run_job(Job& job) {
         ++session_reuses_;
       }
     }
+    record_e2e(job);
+    trace(job.id, obs::TraceEventKind::kResolve);
 
     if (job.batch != nullptr) {
       job.batch->results[job.slot] = std::move(result);  // distinct slots
@@ -439,6 +512,7 @@ void SolverService::expire_job(Job& job) {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++jobs_expired_;
   }
+  trace(job.id, obs::TraceEventKind::kExpire);
   if (job.has_promise) {
     job.promise.set_exception(std::make_exception_ptr(core::AdmissionError(
         core::AdmissionError::Kind::kDeadlineExceeded,
@@ -452,6 +526,11 @@ void SolverService::fail_job(Job& job, std::exception_ptr error) {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++jobs_completed_;
   }
+  // A failed job still *completed* (its future carries the error), so it
+  // still records an end-to-end latency — keeping
+  // `e2e.count == jobs_completed` exact.
+  record_e2e(job);
+  trace(job.id, obs::TraceEventKind::kFail);
   if (job.batch != nullptr) {
     const std::lock_guard<std::mutex> lock(job.batch->mutex);
     if (!job.batch->error) job.batch->error = error;
@@ -459,6 +538,49 @@ void SolverService::fail_job(Job& job, std::exception_ptr error) {
   } else if (job.has_promise) {
     job.promise.set_exception(error);
   }
+}
+
+void SolverService::trace(std::uint64_t job_id, obs::TraceEventKind kind,
+                          obs::PlanSource source) {
+  if (trace_ring_ == nullptr) return;
+  obs::TraceEvent event;
+  event.job_id = job_id;
+  event.timestamp_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock_->now().time_since_epoch())
+          .count());
+  event.kind = kind;
+  event.source = source;
+  (void)trace_ring_->record(event);  // overflow counted, never waited out
+}
+
+void SolverService::record_e2e(const Job& job) {
+  const std::uint64_t ns = elapsed_ns(job.submit_time, clock_->now());
+  e2e_hist_.record(ns);
+  obs::LatencyHistogram* shape = nullptr;
+  {
+    // The mutex guards the map only; recording happens outside it on the
+    // histogram's own atomics.
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    std::unique_ptr<obs::LatencyHistogram>& slot =
+        e2e_by_shape_[shape_label(job.problem->size(), job.solve_options)];
+    if (slot == nullptr) slot = std::make_unique<obs::LatencyHistogram>();
+    shape = slot.get();
+  }
+  shape->record(ns);
+}
+
+std::uint64_t SolverService::elapsed_ns(obs::Clock::time_point a,
+                                        obs::Clock::time_point b) {
+  if (b <= a) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+std::string SolverService::export_trace() const {
+  return obs::render_chrome_trace(trace_ring_ != nullptr
+                                      ? trace_ring_->collect()
+                                      : std::vector<obs::TraceEvent>{});
 }
 
 ServiceStats SolverService::stats() const {
@@ -476,7 +598,17 @@ ServiceStats SolverService::stats() const {
     out.total_depth = total_depth_;
     out.sessions_created = sessions_created_;
     out.session_reuses = session_reuses_;
+    out.e2e_by_shape.reserve(e2e_by_shape_.size());
+    for (const auto& [label, hist] : e2e_by_shape_) {
+      out.e2e_by_shape.emplace_back(label, hist->snapshot());
+    }
   }
+  out.queue_wait = queue_wait_hist_.snapshot();
+  out.plan_build = plan_build_hist_.snapshot();
+  out.snapshot_load = snapshot_load_hist_.snapshot();
+  out.solve = solve_hist_.snapshot();
+  out.e2e = e2e_hist_.snapshot();
+  out.trace_dropped = trace_ring_ != nullptr ? trace_ring_->dropped() : 0;
   if (store_ != nullptr) {
     const snapshot::SnapshotStoreStats s = store_->stats();
     out.snapshot_hits = s.hits;
@@ -486,6 +618,45 @@ ServiceStats SolverService::stats() const {
   }
   out.plan_cache = cache_.stats();
   return out;
+}
+
+obs::MetricsRegistry SolverService::metrics() const {
+  const ServiceStats s = stats();
+  obs::MetricsRegistry reg;
+  const auto gauge = [&reg](const char* name, std::uint64_t value) {
+    reg.set_gauge(name, static_cast<double>(value));
+  };
+  gauge("subdp_workers", s.workers);
+  gauge("subdp_jobs_submitted", s.jobs_submitted);
+  gauge("subdp_jobs_completed", s.jobs_completed);
+  gauge("subdp_jobs_rejected", s.jobs_rejected);
+  gauge("subdp_jobs_expired", s.jobs_expired);
+  gauge("subdp_jobs_cold_deferred", s.jobs_cold_deferred);
+  gauge("subdp_total_iterations", s.total_iterations);
+  gauge("subdp_total_work", s.total_work);
+  gauge("subdp_total_depth", s.total_depth);
+  gauge("subdp_sessions_created", s.sessions_created);
+  gauge("subdp_session_reuses", s.session_reuses);
+  gauge("subdp_snapshot_hits", s.snapshot_hits);
+  gauge("subdp_snapshot_misses", s.snapshot_misses);
+  gauge("subdp_snapshot_write_failures", s.snapshot_write_failures);
+  gauge("subdp_shapes_prewarmed", s.shapes_prewarmed);
+  gauge("subdp_plan_cache_capacity", s.plan_cache.capacity);
+  gauge("subdp_plan_cache_size", s.plan_cache.size);
+  gauge("subdp_plan_cache_hits", s.plan_cache.hits);
+  gauge("subdp_plan_cache_misses", s.plan_cache.misses);
+  gauge("subdp_plan_cache_evictions", s.plan_cache.evictions);
+  gauge("subdp_trace_dropped", s.trace_dropped);
+  reg.set_histogram("subdp_queue_wait_ns", "", s.queue_wait);
+  reg.set_histogram("subdp_plan_build_ns", "", s.plan_build);
+  reg.set_histogram("subdp_snapshot_load_ns", "", s.snapshot_load);
+  reg.set_histogram("subdp_solve_ns", "", s.solve);
+  reg.set_histogram("subdp_e2e_ns", "", s.e2e);
+  for (const auto& [label, snapshot] : s.e2e_by_shape) {
+    reg.set_histogram("subdp_e2e_shape_ns", "shape=\"" + label + "\"",
+                      snapshot);
+  }
+  return reg;
 }
 
 std::shared_ptr<const core::SolvePlan> SolverService::plan_for(

@@ -127,6 +127,7 @@
 ///                                                // admission ledger
 /// ```
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -134,6 +135,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -144,6 +146,10 @@
 
 #include "core/solver_types.hpp"
 #include "dp/problem.hpp"
+#include "obs/clock.hpp"
+#include "obs/latency_histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/session_pool.hpp"
 #include "snapshot/snapshot_store.hpp"
@@ -197,6 +203,16 @@ struct ServiceOptions {
   /// hold the builder busy deterministically). Leave empty in
   /// production.
   std::function<void()> cold_build_hook;
+  /// Monotonic clock behind deadlines, stage latencies, and trace
+  /// timestamps (null = the shared `obs::SteadyClock`). Tests inject an
+  /// `obs::ManualClock` to drive expiry and latency deterministically.
+  std::shared_ptr<const obs::Clock> clock;
+  /// Trace-ring capacity per stripe (the service keeps `workers + 2`
+  /// stripes: one per long-lived thread, probabilistically, plus slack
+  /// for submitters). 0 disables per-job tracing entirely; overflow
+  /// never blocks — excess events are counted in
+  /// `ServiceStats::trace_dropped` instead of recorded.
+  std::size_t trace_capacity = 8192;
 };
 
 /// One consistent snapshot of a service's aggregate accounting.
@@ -236,6 +252,24 @@ struct ServiceStats {
   /// Shapes resolved from the prewarm manifest at startup.
   std::uint64_t shapes_prewarmed = 0;
   PlanCacheStats plan_cache;
+  /// Per-stage latency distributions (nanoseconds, service lifetime).
+  /// `queue_wait` covers first-enqueue to first-dequeue (cold-deferred
+  /// jobs are not re-counted on requeue); `plan_build` and
+  /// `snapshot_load` cover real plan materialisations (cache hits record
+  /// nothing); `solve` is the session solve alone; `e2e` is submit to
+  /// resolution for every completed job — rejected and expired jobs are
+  /// excluded, so `e2e.count == jobs_completed` once the queue drains
+  /// (the fuzz suite asserts this).
+  obs::HistogramSnapshot queue_wait;
+  obs::HistogramSnapshot plan_build;
+  obs::HistogramSnapshot snapshot_load;
+  obs::HistogramSnapshot solve;
+  obs::HistogramSnapshot e2e;
+  /// End-to-end latency split by plan shape (label "n<N>-<variant>-
+  /// <square mode>"), sorted by label.
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> e2e_by_shape;
+  /// Trace events lost to a full ring stripe (0 with tracing disabled).
+  std::uint64_t trace_dropped = 0;
 };
 
 /// Concurrent plan-cached, session-pooled solver with admission control;
@@ -285,6 +319,20 @@ class SolverService {
 
   [[nodiscard]] ServiceStats stats() const;
 
+  /// Chrome trace-event JSON (`{"traceEvents": [...]}`, loadable in
+  /// Perfetto / chrome://tracing) of every job lifecycle event still in
+  /// the trace ring: one complete span per job plus its instant events
+  /// (submit, enqueue, dequeue, plan acquired, solve begin/end,
+  /// resolution — including reject/expire/fail). Returns an empty trace
+  /// when `ServiceOptions::trace_capacity` is 0. Safe from any thread;
+  /// typically called after the traffic of interest has drained.
+  [[nodiscard]] std::string export_trace() const;
+
+  /// The service's counters and per-stage latency histograms as an
+  /// `obs::MetricsRegistry` (every `ServiceStats` field under a
+  /// `subdp_` prefix), renderable via `to_prometheus()` / `to_json()`.
+  [[nodiscard]] obs::MetricsRegistry metrics() const;
+
   /// Worker threads executing solves (resolved, >= 1).
   [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
 
@@ -328,6 +376,14 @@ class SolverService {
     /// Expiry instant; only submit jobs carry one (`has_deadline`).
     bool has_deadline = false;
     Deadline deadline{};
+    /// Observability: service-unique id (trace `tid`), the submit and
+    /// enqueue instants on the service clock, and whether queue wait was
+    /// already recorded (a cold-deferred job is dequeued twice; only the
+    /// first wait counts).
+    std::uint64_t id = 0;
+    obs::Clock::time_point submit_time{};
+    obs::Clock::time_point enqueue_time{};
+    bool queue_wait_recorded = false;
   };
 
   /// Applies the `workers > 1` backend normalisation; see file comment.
@@ -361,6 +417,18 @@ class SolverService {
   void expire_job(Job& job);
   /// Completion bookkeeping for a job that failed before/while solving.
   void fail_job(Job& job, std::exception_ptr error);
+
+  /// Records one lifecycle event into the trace ring (no-op with tracing
+  /// disabled). Never blocks; overflow is counted, not waited out.
+  void trace(std::uint64_t job_id, obs::TraceEventKind kind,
+             obs::PlanSource source = obs::PlanSource::kNone);
+  /// Records the submit-to-resolution latency of a completed job into
+  /// the service-wide and per-shape end-to-end histograms.
+  void record_e2e(const Job& job);
+  /// Nanoseconds between two instants of the service clock (0 when `b`
+  /// precedes `a`, which a `ManualClock` rewind could produce).
+  [[nodiscard]] static std::uint64_t elapsed_ns(obs::Clock::time_point a,
+                                                obs::Clock::time_point b);
 
   ServiceOptions options_;
   std::size_t workers_ = 1;
@@ -404,6 +472,22 @@ class SolverService {
   std::uint64_t total_depth_ = 0;
   std::uint64_t sessions_created_ = 0;
   std::uint64_t session_reuses_ = 0;
+  /// Per-shape end-to-end latency, keyed by `shape_label` — guarded by
+  /// `stats_mutex_` (the map; each histogram is internally atomic).
+  std::map<std::string, std::unique_ptr<obs::LatencyHistogram>>
+      e2e_by_shape_;
+
+  /// Observability plumbing. The clock is never null (defaulted in the
+  /// constructor); the trace ring is null when tracing is disabled.
+  std::shared_ptr<const obs::Clock> clock_;
+  std::unique_ptr<obs::TraceRing> trace_ring_;
+  std::atomic<std::uint64_t> next_job_id_{1};
+  /// Per-stage latency histograms (nanoseconds); lock-free recording.
+  obs::LatencyHistogram queue_wait_hist_;
+  obs::LatencyHistogram plan_build_hist_;
+  obs::LatencyHistogram snapshot_load_hist_;
+  obs::LatencyHistogram solve_hist_;
+  obs::LatencyHistogram e2e_hist_;
 
   /// The dedicated cold-plan builder; see the file comment.
   std::thread builder_thread_;

@@ -76,6 +76,11 @@ static_assert(sizeof(SnapshotHeader) == 160, "snapshot header layout");
 static_assert(std::is_trivially_copyable_v<SnapshotHeader>);
 static_assert(sizeof(SnapshotHeader) % kSectionAlign == 0);
 
+// `SublinearOptions::profile` is deliberately absent from the snapshot
+// key (and from `key_matches`): it toggles per-step engine recording,
+// never plan geometry, so profiled and unprofiled requests share one
+// snapshot file — the decoded plan adopts whatever options the loading
+// request carried. No format bump needed.
 void fill_key(SnapshotHeader& h, std::size_t n,
               const core::SublinearOptions& o) {
   h.n = n;

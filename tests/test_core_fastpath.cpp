@@ -18,6 +18,8 @@
 
 #include "bench/common.hpp"
 #include "core/pw_dense.hpp"
+#include "core/solve_plan.hpp"
+#include "core/solve_session.hpp"
 #include "core/sublinear_solver.hpp"
 #include "dp/sequential.hpp"
 #include "support/rng.hpp"
@@ -36,6 +38,9 @@ struct EngineConfig {
   // rebuilds) the cursor and incremental paths must be bit-identical to.
   bool cursor = true;
   bool incremental = true;
+  // Per-step engine profiling (observability PR): on or off, the solver
+  // output must be bit-identical — profiling only ever records.
+  bool profile = false;
 };
 
 SublinearResult run_config(const dp::Problem& problem,
@@ -46,6 +51,7 @@ SublinearResult run_config(const dp::Problem& problem,
   options.frontier_sweeps = config.frontier;
   options.pebble_cursor = config.cursor;
   options.incremental_marks = config.incremental;
+  options.profile = config.profile;
   options.machine.record_costs = config.record_costs;
   options.machine.backend = config.backend;
   SublinearSolver solver(options);
@@ -94,6 +100,12 @@ std::vector<EngineConfig> variant_configs() {
        pram::Backend::kSerial, false, false},
       {"delta,frontier,fast,threads,legacy", true, true, false,
        pram::Backend::kThreadPool, false, false},
+      // Observability: per-step profiling on must be bit-identical to the
+      // reference — recording never steers a sweep, serial or threaded.
+      {"delta,frontier,fast,serial,profiled", true, true, false,
+       pram::Backend::kSerial, true, true, true},
+      {"delta,frontier,fast,threads,profiled", true, true, false,
+       pram::Backend::kThreadPool, true, true, true},
   };
 }
 
@@ -348,6 +360,88 @@ TEST(CrossLayout, PrepareEnforcesTheNewDenseLimit) {
   const SizedProblem past_old_cap(80);
   solver.prepare(past_old_cap);
   EXPECT_GT(solver.pw_cell_count(), 0u);
+}
+
+// ---- Step profiles (observability) -----------------------------------------
+// `SublinearOptions::profile` records one StepProfile per iteration. The
+// bit-identical guarantee is covered by the profiled configs above; here
+// the counters themselves must reconcile: every quad and pair the sweep
+// owns is either scanned or accounted to a skip, exactly once.
+
+TEST(StepProfiles, CountersReconcilePerStepOnEveryFamily) {
+  for (const std::string& family : bench::instance_families()) {
+    for (const PwVariant variant : {PwVariant::kBanded, PwVariant::kDense}) {
+      support::Rng rng(606);
+      const auto problem = bench::make_instance(family, 24, rng);
+      SublinearOptions options;
+      options.variant = variant;
+      options.profile = true;
+      options.machine.record_costs = false;  // engage the fast sweeps
+      const auto plan = SolvePlan::create(problem->size(), options);
+      SolveSession session(plan);
+      const auto result = session.solve(*problem);
+      EXPECT_EQ(result.cost, dp::solve_sequential(*problem).cost) << family;
+
+      const std::vector<StepProfile>& profiles = session.step_profile();
+      ASSERT_EQ(profiles.size(), result.iterations) << family;
+      for (std::size_t t = 0; t < profiles.size(); ++t) {
+        const StepProfile& p = profiles[t];
+        const std::string label = family + " iteration " + std::to_string(t);
+        EXPECT_EQ(p.iteration, t + 1) << label;
+        EXPECT_EQ(p.square_quads_scanned + p.square_quads_skipped +
+                      p.square_quads_block_skipped,
+                  p.square_quads_total)
+            << label;
+        EXPECT_EQ(p.pebble_pairs_scanned + p.pebble_pairs_skipped,
+                  p.pebble_pairs_total)
+            << label;
+        // Skipping a whole block accounts all of its quads at once.
+        if (p.square_blocks_skipped > 0) {
+          EXPECT_GT(p.square_quads_block_skipped, 0u) << label;
+        }
+        // Frontier density accounting is a subset relation.
+        EXPECT_LE(p.frontier_sites, p.total_split_sites) << label;
+      }
+      // The sweeps genuinely ran: some work is attributed somewhere.
+      std::uint64_t total_quads = 0;
+      std::uint64_t total_pairs = 0;
+      for (const StepProfile& p : profiles) {
+        total_quads += p.square_quads_total;
+        total_pairs += p.pebble_pairs_total;
+      }
+      EXPECT_GT(total_quads, 0u) << family;
+      EXPECT_GT(total_pairs, 0u) << family;
+    }
+  }
+}
+
+TEST(StepProfiles, EmptyWhenProfilingIsOff) {
+  support::Rng rng(607);
+  const auto problem = bench::make_instance("matrix-chain", 18, rng);
+  SublinearOptions options;  // profile defaults to false
+  options.machine.record_costs = false;
+  const auto plan = SolvePlan::create(problem->size(), options);
+  SolveSession session(plan);
+  const auto result = session.solve(*problem);
+  EXPECT_EQ(result.cost, dp::solve_sequential(*problem).cost);
+  EXPECT_TRUE(session.step_profile().empty());
+}
+
+TEST(StepProfiles, SurvivesSessionResetAndRepeatedSolves) {
+  // A pooled session is reset across jobs; each solve's profile must
+  // describe that solve alone, not accumulate across resets.
+  support::Rng rng(608);
+  const auto a = bench::make_instance("matrix-chain", 20, rng);
+  const auto b = bench::make_instance("optimal-bst", 20, rng);
+  SublinearOptions options;
+  options.profile = true;
+  options.machine.record_costs = false;
+  const auto plan = SolvePlan::create(20, options);
+  SolveSession session(plan);
+  const auto ra = session.solve(*a);
+  EXPECT_EQ(session.step_profile().size(), ra.iterations);
+  const auto rb = session.solve(*b);
+  EXPECT_EQ(session.step_profile().size(), rb.iterations);
 }
 
 TEST(FastPath, OversizedInstancesAreRejectedUpFront) {

@@ -1,0 +1,164 @@
+// Unit tests of the log2-bucket LatencyHistogram: bucket boundary math
+// (every power-of-two edge, zero, uint64 overflow bucket), snapshot
+// counters, merge associativity, and quantile interpolation — the maths
+// the service's p50/p95/p99 columns and the Prometheus surface rest on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+
+namespace subdp::obs {
+namespace {
+
+TEST(HistogramBuckets, ZeroGetsItsOwnBucket) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket_lo(0), 0u);
+  EXPECT_EQ(histogram_bucket_hi(0), 0u);
+}
+
+TEST(HistogramBuckets, PowerOfTwoBoundaries) {
+  // Bucket k >= 1 covers [2^(k-1), 2^k - 1]: both edges must land in k,
+  // and the neighbours must not.
+  for (std::size_t k = 1; k < kHistogramBuckets; ++k) {
+    const std::uint64_t lo = histogram_bucket_lo(k);
+    const std::uint64_t hi = histogram_bucket_hi(k);
+    EXPECT_EQ(lo, std::uint64_t{1} << (k - 1)) << "bucket " << k;
+    EXPECT_EQ(histogram_bucket(lo), k) << "lo edge of bucket " << k;
+    EXPECT_EQ(histogram_bucket(hi), k) << "hi edge of bucket " << k;
+    EXPECT_EQ(histogram_bucket(lo - 1), k - 1)
+        << "below lo edge of bucket " << k;
+  }
+}
+
+TEST(HistogramBuckets, EveryUint64ValueHasABucket) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(histogram_bucket(max), kHistogramBuckets - 1);
+  EXPECT_EQ(histogram_bucket_hi(kHistogramBuckets - 1), max);
+  // The overflow-prone edge: 2^63 is the last bucket's lower bound.
+  EXPECT_EQ(histogram_bucket(std::uint64_t{1} << 63),
+            kHistogramBuckets - 1);
+  EXPECT_EQ(histogram_bucket_lo(kHistogramBuckets - 1),
+            std::uint64_t{1} << 63);
+}
+
+TEST(LatencyHistogram, RecordFillsCountSumAndBuckets) {
+  LatencyHistogram hist;
+  hist.record(0);
+  hist.record(1);
+  hist.record(2);
+  hist.record(3);
+  hist.record(1000);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1006u);
+  EXPECT_EQ(snap.buckets[0], 1u);  // the zero
+  EXPECT_EQ(snap.buckets[1], 1u);  // 1
+  EXPECT_EQ(snap.buckets[2], 2u);  // 2 and 3
+  EXPECT_EQ(snap.buckets[10], 1u);  // 1000 in [512, 1023]
+  EXPECT_DOUBLE_EQ(snap.mean(), 1006.0 / 5.0);
+}
+
+TEST(LatencyHistogram, EmptySnapshotQuantilesAreZero) {
+  const HistogramSnapshot snap = LatencyHistogram().snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+}
+
+TEST(HistogramSnapshot, MergeIsAssociativeAndCommutative) {
+  LatencyHistogram a, b, c;
+  for (std::uint64_t v : {0u, 1u, 7u, 100u}) a.record(v);
+  for (std::uint64_t v : {3u, 3u, 90000u}) b.record(v);
+  c.record(std::numeric_limits<std::uint64_t>::max());
+
+  // (a + b) + c
+  HistogramSnapshot left = a.snapshot();
+  left.merge(b.snapshot());
+  left.merge(c.snapshot());
+  // a + (b + c)
+  HistogramSnapshot right_inner = b.snapshot();
+  right_inner.merge(c.snapshot());
+  HistogramSnapshot right = a.snapshot();
+  right.merge(right_inner);
+  // b + a + c (commuted)
+  HistogramSnapshot commuted = b.snapshot();
+  commuted.merge(a.snapshot());
+  commuted.merge(c.snapshot());
+
+  EXPECT_EQ(left.count, 8u);
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.sum, right.sum);
+  EXPECT_EQ(left.buckets, right.buckets);
+  EXPECT_EQ(left.buckets, commuted.buckets);
+  EXPECT_EQ(left.sum, commuted.sum);
+}
+
+TEST(HistogramSnapshot, QuantileInterpolatesInsideTheMatchedBucket) {
+  // 4 samples, all in bucket 7 ([64, 127]): the quantile walks to that
+  // bucket and interpolates linearly across its [lo, hi] range.
+  LatencyHistogram hist;
+  for (int i = 0; i < 4; ++i) hist.record(100);
+  const HistogramSnapshot snap = hist.snapshot();
+  const double lo = 64.0;
+  const double hi = 127.0;
+  // target = q * 4 samples; fraction = target / 4 within the one bucket.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), lo + 0.5 * (hi - lo));
+  EXPECT_DOUBLE_EQ(snap.quantile(0.25), lo + 0.25 * (hi - lo));
+  // q = 0 clamps to the bucket's lower edge.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), lo);
+  // q = 1 reaches the bucket's upper edge exactly.
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), hi);
+}
+
+TEST(HistogramSnapshot, QuantileWalksCumulativeBuckets) {
+  // 10 zeros + 10 values in [512, 1023]: p50 must stay in the zero
+  // bucket, anything above it lands in bucket 10.
+  LatencyHistogram hist;
+  for (int i = 0; i < 10; ++i) hist.record(0);
+  for (int i = 0; i < 10; ++i) hist.record(700);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_GE(snap.quantile(0.75), 512.0);
+  EXPECT_LE(snap.quantile(0.75), 1023.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1023.0);
+  EXPECT_DOUBLE_EQ(snap.p50(), snap.quantile(0.5));
+  EXPECT_DOUBLE_EQ(snap.p95(), snap.quantile(0.95));
+  EXPECT_DOUBLE_EQ(snap.p99(), snap.quantile(0.99));
+}
+
+TEST(HistogramSnapshot, QuantileClampsOutOfRangeInputs) {
+  LatencyHistogram hist;
+  hist.record(100);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(-0.5), snap.quantile(0.0));
+  EXPECT_DOUBLE_EQ(snap.quantile(1.5), snap.quantile(1.0));
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsLoseNothing) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+}  // namespace
+}  // namespace subdp::obs

@@ -27,6 +27,7 @@
 #include "core/sublinear_solver.hpp"
 #include "dp/matrix_chain.hpp"
 #include "dp/sequential.hpp"
+#include "obs/clock.hpp"
 #include "serve/solver_service.hpp"
 #include "support/rng.hpp"
 #include "tests/serve_tsan_suppression.hpp"
@@ -261,8 +262,13 @@ TEST(Admission, ExpiredDeadlineResolvesWithoutSolving) {
   const auto warm = dp::MatrixChainProblem::random(11, rng);
   ProbeProblem probe(dp::MatrixChainProblem::random(11, rng));
 
+  // Deadlines are judged on the injected manual clock, not the real
+  // steady clock: "expired" and "in time" below are deterministic
+  // statements about clock arithmetic, not races against the worker.
+  const auto manual = std::make_shared<obs::ManualClock>();
   ServiceOptions options;
   options.workers = 1;
+  options.clock = manual;
   SolverService service(options);
 
   // Warm the shape so the probe job cannot detour through the builder.
@@ -270,14 +276,15 @@ TEST(Admission, ExpiredDeadlineResolvesWithoutSolving) {
             dp::solve_sequential(warm).cost);
 
   auto expired = service.submit(
-      probe, std::chrono::steady_clock::now() - std::chrono::seconds(1));
+      probe, manual->now() - std::chrono::seconds(1));
   expect_admission_error(expired, AdmissionError::Kind::kDeadlineExceeded);
   EXPECT_EQ(probe.calls(), 0u)
       << "an expired job must never touch the problem";
 
-  // A generous deadline solves normally — and bit-identically.
+  // A deadline one tick ahead of the (frozen) manual clock solves
+  // normally — and bit-identically.
   auto in_time = service.submit(
-      probe, std::chrono::steady_clock::now() + std::chrono::hours(1));
+      probe, manual->now() + std::chrono::nanoseconds(1));
   core::SublinearSolver independent;
   const auto expected = independent.solve(probe);
   const auto got = in_time.get();
@@ -301,10 +308,12 @@ TEST(Admission, StatsCountersMatchExactExpectedValues) {
   ProbeProblem doomed(dp::MatrixChainProblem::random(13, rng));
   const auto normal = dp::MatrixChainProblem::random(13, rng);
 
+  const auto manual = std::make_shared<obs::ManualClock>();
   ServiceOptions options;
   options.workers = 1;
   options.queue_capacity = kQueueCap;
   options.overload_policy = OverloadPolicy::kReject;
+  options.clock = manual;
   SolverService service(options);
   const GateOpener opener{gated.gate()};
 
@@ -314,9 +323,10 @@ TEST(Admission, StatsCountersMatchExactExpectedValues) {
   // 2: pin the worker on a warm-shape job.
   auto gated_future = service.submit(gated);
   gated.wait_until_entered();
-  // 3: queue an already-expired job; 4: queue a normal job (queue full).
+  // 3: queue a job already expired on the manual clock; 4: queue a
+  // normal job (queue full).
   auto expired = service.submit(
-      doomed, std::chrono::steady_clock::now() - std::chrono::seconds(1));
+      doomed, manual->now() - std::chrono::seconds(1));
   auto ok = service.submit(normal);
   // 5: the overflow submit is rejected.
   EXPECT_THROW((void)service.submit(normal), AdmissionError);

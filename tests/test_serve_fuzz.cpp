@@ -253,6 +253,10 @@ void run_fuzz(std::uint64_t seed, OverloadPolicy policy) {
   EXPECT_EQ(stats.jobs_expired, sum.expired);
   EXPECT_EQ(stats.jobs_submitted,
             stats.jobs_completed + stats.jobs_rejected + stats.jobs_expired);
+  // Observability reconciliation: the end-to-end latency histogram sees
+  // every completed job exactly once — rejected and expired jobs never
+  // reach it — under every seed, policy, and interleaving.
+  EXPECT_EQ(stats.e2e.count, stats.jobs_completed);
   if (policy == OverloadPolicy::kBlock) {
     EXPECT_EQ(stats.jobs_rejected, 0u) << "kBlock must never shed";
   }
