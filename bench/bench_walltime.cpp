@@ -62,6 +62,16 @@
 //    per-instance loop first, so the admission path is covered by the
 //    same differential bar as the other service rows.
 //
+//    `--priority-mix=<i:b>` adds a QoS row per family: the instances
+//    split into interactive (far-future deadlines) and batch traffic in
+//    the i:b ratio, pushed through a tiny EDF-ordered intake (bounded
+//    queue, OverloadPolicy::kReject, 2 plan builders); shed submits
+//    back off by the rejection's retry-after hint and resubmit until
+//    every instance lands — mode "service-qos", with the rejection
+//    count and per-class completions printed. Bit-identity to the
+//    per-instance loop holds for every completed job, and the
+//    per-class ledgers must partition the service's global counters.
+//
 // The PRAM results are about operation counts; this suite grounds the
 // simulator on actual hardware. On a machine with few cores the
 // backend speedups are correspondingly modest — the *shape* to check is
@@ -391,9 +401,19 @@ void sweep_variant(const dp::Problem& problem, const std::string& family,
 /// all paths bit-identical before recording any row — the service
 /// additionally across worker counts {1, 4, hardware_concurrency,
 /// service_workers} and a shuffled async submission order.
+/// `--priority-mix=<i:b>` ratio; {0, 0} disables the service-qos row.
+struct PriorityMix {
+  std::size_t interactive = 0;
+  std::size_t batch = 0;
+  [[nodiscard]] bool enabled() const {
+    return interactive + batch > 0;
+  }
+};
+
 void sweep_batch(const std::string& family, std::size_t n,
                  std::size_t count, std::size_t service_workers,
                  std::size_t queue_cap, serve::OverloadPolicy policy,
+                 PriorityMix priority_mix,
                  const std::string& metrics_json,
                  const std::string& trace_json,
                  std::vector<SweepRow>& rows) {
@@ -589,7 +609,7 @@ void sweep_batch(const std::string& family, std::size_t n,
 
   // ---- Overload row: bounded queue + admission policy (--queue-cap) ----
 
-  if (queue_cap == 0) return;
+  if (queue_cap != 0) {
   serve::ServiceOptions admission_options;
   admission_options.solver = options;
   admission_options.workers = service_workers;
@@ -643,6 +663,85 @@ void sweep_batch(const std::string& family, std::size_t n,
       family.c_str(), n, admission_row.variant.c_str(),
       admission_row.mode.c_str(), count, admission_row.wall_ms, queue_cap,
       rejections, admission_row.p95_ms);
+  }
+
+  // ---- QoS row: EDF intake + builder pool + retry-after (--priority-mix) ----
+
+  if (!priority_mix.enabled()) return;
+  serve::ServiceOptions qos_options;
+  qos_options.solver = options;
+  qos_options.workers = service_workers;
+  qos_options.builders = 2;
+  qos_options.queue_capacity = 4;  // small: the hint path must fire
+  qos_options.overload_policy = serve::OverloadPolicy::kReject;
+  serve::SolverService qos(qos_options);
+
+  // Split the instances into the requested interactive:batch ratio.
+  // Interactive jobs carry far-future deadlines, so the EDF order ranks
+  // them ahead of the deadline-less batch traffic; every shed submit
+  // backs off by the rejection's hinted retry-after and resubmits, so
+  // all `count` instances still complete and the row times the batch.
+  const std::size_t mix_period =
+      priority_mix.interactive + priority_mix.batch;
+  std::size_t qos_rejections = 0;
+  const auto q0 = std::chrono::steady_clock::now();
+  std::vector<std::future<core::SublinearResult>> qos_futures(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const bool interactive =
+        k % mix_period < priority_mix.interactive;
+    for (;;) {
+      try {
+        if (interactive) {
+          qos_futures[k] = qos.submit(
+              *pointers[k], serve::PriorityClass::kInteractive,
+              std::chrono::steady_clock::now() + std::chrono::hours(1));
+        } else {
+          qos_futures[k] =
+              qos.submit(*pointers[k], serve::PriorityClass::kBatch);
+        }
+        break;
+      } catch (const core::AdmissionError& e) {
+        ++qos_rejections;
+        std::this_thread::sleep_for(
+            e.has_hint() ? e.retry_after()
+                         : serve::kRetryAfterConservativeDefault);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    assert_identical(qos_futures[k].get(), k, "qos service submit");
+  }
+  const auto q1 = std::chrono::steady_clock::now();
+  const serve::ServiceStats qos_stats = qos.stats();
+  // The class slices must partition the global ledger exactly, and
+  // every instance must have completed despite the shedding.
+  SUBDP_REQUIRE(qos_stats.jobs_completed == count,
+                "qos row lost instances despite hinted retries");
+  SUBDP_REQUIRE(qos_stats.interactive.completed +
+                        qos_stats.batch.completed ==
+                    qos_stats.jobs_completed,
+                "qos per-class completions do not partition the total");
+  SUBDP_REQUIRE(qos_stats.jobs_submitted ==
+                    qos_stats.jobs_completed + qos_stats.jobs_rejected +
+                        qos_stats.jobs_expired,
+                "qos admission ledger does not reconcile");
+  SweepRow qos_row = row;
+  qos_row.mode = "service-qos";
+  qos_row.wall_ms =
+      std::chrono::duration<double, std::milli>(q1 - q0).count();
+  qos_row.p50_ms = ns_to_ms(qos_stats.e2e.p50());
+  qos_row.p95_ms = ns_to_ms(qos_stats.e2e.p95());
+  qos_row.p99_ms = ns_to_ms(qos_stats.e2e.p99());
+  rows.push_back(qos_row);
+  std::printf(
+      "%-14s n=%-4zu %-7s %-23s x%zu  %10.3f ms (mix %zu:%zu, "
+      "%zu interactive + %zu batch completed, %zu hinted retry(ies), "
+      "interactive p95 %.3f ms)\n",
+      family.c_str(), n, qos_row.variant.c_str(), qos_row.mode.c_str(),
+      count, qos_row.wall_ms, priority_mix.interactive, priority_mix.batch,
+      static_cast<std::size_t>(qos_stats.interactive.completed),
+      static_cast<std::size_t>(qos_stats.batch.completed), qos_rejections,
+      ns_to_ms(qos_stats.interactive.e2e.p95()));
 }
 
 // ---- Snapshot rows: cold-start vs prewarmed first-request latency ----------
@@ -763,6 +862,7 @@ void run_json_sweep(const std::string& path,
                     const std::vector<std::string>& family_filter,
                     std::size_t max_n, std::size_t service_workers,
                     std::size_t queue_cap, serve::OverloadPolicy policy,
+                    PriorityMix priority_mix,
                     const std::string& snapshot_dir,
                     const std::string& metrics_json,
                     const std::string& trace_json) {
@@ -831,7 +931,8 @@ void run_json_sweep(const std::string& path,
                     backends, rows);
     }
     sweep_batch(family, batch_n, kBatchInstances, service_workers,
-                queue_cap, policy, metrics_json, trace_json, rows);
+                queue_cap, policy, priority_mix, metrics_json, trace_json,
+                rows);
     if (!snapshot_dir.empty()) {
       sweep_snapshot(family, batch_n, service_workers, snapshot_dir, rows);
     }
@@ -894,6 +995,7 @@ int main(int argc, char** argv) {
   std::size_t service_workers = 0;  // 0 = hardware_concurrency
   std::size_t queue_cap = 0;        // 0 = no admission row
   serve::OverloadPolicy policy = serve::OverloadPolicy::kBlock;
+  PriorityMix priority_mix;         // {0, 0} = no service-qos row
   std::string snapshot_dir;         // empty = no cold/prewarmed rows
   std::string metrics_json;         // empty = no metrics artifact
   std::string trace_json;           // empty = no Chrome trace artifact
@@ -922,6 +1024,22 @@ int main(int argc, char** argv) {
           std::strtoull(argv[a] + 12, nullptr, 10));
       if (queue_cap < 1) {
         std::fprintf(stderr, "--queue-cap must be at least 1\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[a], "--priority-mix=", 15) == 0) {
+      const char* spec = argv[a] + 15;
+      char* colon = nullptr;
+      priority_mix.interactive =
+          static_cast<std::size_t>(std::strtoull(spec, &colon, 10));
+      if (colon == nullptr || *colon != ':') {
+        std::fprintf(stderr, "--priority-mix must look like <i>:<b>, "
+                             "e.g. --priority-mix=3:1\n");
+        return 1;
+      }
+      priority_mix.batch = static_cast<std::size_t>(
+          std::strtoull(colon + 1, nullptr, 10));
+      if (!priority_mix.enabled()) {
+        std::fprintf(stderr, "--priority-mix needs a nonzero ratio\n");
         return 1;
       }
     } else if (std::strncmp(argv[a], "--snapshot-dir=", 15) == 0) {
@@ -963,17 +1081,17 @@ int main(int argc, char** argv) {
   }
   if (!json_path.empty()) {
     run_json_sweep(json_path, family_filter, max_n, service_workers,
-                   queue_cap, policy, snapshot_dir, metrics_json,
-                   trace_json);
+                   queue_cap, policy, priority_mix, snapshot_dir,
+                   metrics_json, trace_json);
     return 0;
   }
   if (!family_filter.empty() || max_n != SIZE_MAX || queue_cap != 0 ||
-      !snapshot_dir.empty() || !metrics_json.empty() ||
-      !trace_json.empty()) {
+      priority_mix.enabled() || !snapshot_dir.empty() ||
+      !metrics_json.empty() || !trace_json.empty()) {
     std::fprintf(stderr,
                  "--families / --max-n / --queue-cap / --policy / "
-                 "--snapshot-dir / --metrics-json / --trace-json filter "
-                 "the --json sweep only\n");
+                 "--priority-mix / --snapshot-dir / --metrics-json / "
+                 "--trace-json filter the --json sweep only\n");
     return 1;
   }
   benchmark::Initialize(&argc, argv);

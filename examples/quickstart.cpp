@@ -19,19 +19,23 @@
 //
 // including overload behavior under admission control: a bounded
 // dispatch queue that either back-pressures (OverloadPolicy::kBlock) or
-// sheds with a typed core::AdmissionError (kReject), and per-job
-// deadlines that expire un-picked-up jobs instead of solving them —
+// sheds with a typed core::AdmissionError (kReject) carrying a
+// retry-after hint the client sleeps on before resubmitting, and
+// per-job deadlines that expire un-picked-up jobs instead of solving
+// them —
 // and plan persistence: `ServiceOptions::snapshot_dir` writes every
 // built plan to a versioned on-disk snapshot store, and a restarted
 // service prewarms the shapes named in the store's manifest from disk
 // before its first request, serving it with no plan-build stall.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/api.hpp"
@@ -127,29 +131,49 @@ int main() {
 
   // Overload shape: a service with a deliberately tiny intake. The
   // 2-deep bounded queue under kReject sheds bursts with a typed
-  // AdmissionError (a production client would back off and retry), and
-  // a job whose deadline has already passed resolves with the same
-  // error instead of occupying a worker. Whatever admission decides,
-  // the accounting is exact: every submission ends up completed,
-  // rejected, or expired — exactly once.
+  // AdmissionError, and a job whose deadline has already passed
+  // resolves with the same error instead of occupying a worker.
+  // Whatever admission decides, the accounting is exact: every
+  // submission ends up completed, rejected, or expired — exactly once.
   subdp::serve::ServiceOptions overload_options;
   overload_options.workers = 1;
   overload_options.queue_capacity = 2;
   overload_options.overload_policy = subdp::serve::OverloadPolicy::kReject;
   subdp::serve::SolverService bounded(overload_options);
 
+  // Each rejection carries a retry-after hint: the queue depth it saw
+  // and a drain estimate from the service's queue-wait histogram. A
+  // well-behaved client sleeps that long and resubmits instead of
+  // hammering the intake — here every shed submit eventually lands.
   std::size_t accepted = 0;
   std::size_t rejected = 0;
+  std::size_t max_depth_seen = 0;
+  std::chrono::nanoseconds last_hint{0};
   std::vector<std::future<subdp::core::SublinearResult>> burst;
   for (const auto* p : instances) {
-    try {
-      burst.push_back(bounded.submit(*p));
-      ++accepted;
-    } catch (const subdp::core::AdmissionError&) {
-      ++rejected;  // queue full: shed instead of queueing unboundedly
+    for (;;) {
+      try {
+        burst.push_back(bounded.submit(*p));
+        ++accepted;
+        break;
+      } catch (const subdp::core::AdmissionError& e) {
+        ++rejected;  // queue full: shed instead of queueing unboundedly
+        if (e.has_hint()) {
+          max_depth_seen = std::max(max_depth_seen, e.queue_depth());
+          last_hint = e.retry_after();
+        }
+        std::this_thread::sleep_for(
+            e.has_hint()
+                ? e.retry_after()
+                : subdp::serve::kRetryAfterConservativeDefault);
+      }
     }
   }
   for (auto& f : burst) (void)f.get();  // admitted jobs all complete
+  std::printf("\n  retry-after      : %zu shed submit(s) retried after "
+              "hinted backoff (depth %zu, last hint %.1f us) until all "
+              "%zu landed\n",
+              rejected, max_depth_seen, last_hint.count() / 1e3, accepted);
 
   // The queue is drained now, so this deadline-carrying submit is
   // admitted — but its deadline already passed, so the worker expires
@@ -166,7 +190,7 @@ int main() {
   }
 
   const subdp::serve::ServiceStats bounded_stats = bounded.stats();
-  std::printf("\n  overload (cap 2) : %zu accepted, %zu rejected, "
+  std::printf("  overload (cap 2) : %zu admitted, %zu shed attempt(s), "
               "expired deadline %s\n",
               accepted, rejected, deadline_expired ? "shed" : "LOST");
   std::printf("  admission ledger : %llu submitted == %llu completed + "
@@ -177,7 +201,7 @@ int main() {
               static_cast<unsigned long long>(bounded_stats.jobs_expired));
 
   const bool admission_ok =
-      deadline_expired && accepted + rejected == instances.size() &&
+      deadline_expired && accepted == instances.size() &&
       bounded_stats.jobs_expired == 1 &&
       bounded_stats.jobs_submitted == bounded_stats.jobs_completed +
                                           bounded_stats.jobs_rejected +

@@ -3,6 +3,7 @@
 /// \file solver_types.hpp
 /// Options, traces and results for the sublinear solver.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -202,10 +203,43 @@ class AdmissionError : public std::runtime_error {
   AdmissionError(Kind kind, const std::string& what)
       : std::runtime_error(what), kind_(kind) {}
 
+  /// `kQueueFull` with a retry-after hint: `queue_depth` is the exact
+  /// number of jobs occupying the bounded queue at rejection time and
+  /// `retry_after` the service's estimate of when the next slot frees
+  /// (derived from its queue-wait latency histogram; a service that has
+  /// not yet observed any nonzero wait reports a documented conservative
+  /// default instead). Clients back off for `retry_after` instead of
+  /// spin-retrying.
+  AdmissionError(Kind kind, const std::string& what,
+                 std::size_t queue_depth,
+                 std::chrono::nanoseconds retry_after)
+      : std::runtime_error(what),
+        kind_(kind),
+        has_hint_(true),
+        queue_depth_(queue_depth),
+        retry_after_(retry_after) {}
+
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  /// True when the thrower attached a retry-after hint (queue-full
+  /// rejections from `serve::SolverService` always do; deadline expiries
+  /// never do).
+  [[nodiscard]] bool has_hint() const noexcept { return has_hint_; }
+  /// Jobs waiting in the queue at rejection time (0 without a hint).
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_depth_;
+  }
+  /// Estimated time until a queue slot frees; nonnegative, 0 without a
+  /// hint.
+  [[nodiscard]] std::chrono::nanoseconds retry_after() const noexcept {
+    return retry_after_;
+  }
 
  private:
   Kind kind_;
+  bool has_hint_ = false;
+  std::size_t queue_depth_ = 0;
+  std::chrono::nanoseconds retry_after_{0};
 };
 
 [[nodiscard]] constexpr const char* to_string(AdmissionError::Kind k) noexcept {

@@ -39,10 +39,11 @@
 /// insertion), reports `PlanState::kBuilding` and returns null without
 /// touching the per-entry build lock. The caller then owes the blocking
 /// second half, `build`, from whatever thread it dedicates to builds
-/// (the service's background builder): it performs — or waits on and
-/// shares — the one build for that key, recording no further hit/miss,
-/// so N concurrent cold requests for one key still count exactly one
-/// miss and trigger exactly one build.
+/// (the service's builder pool — distinct keys build concurrently, one
+/// builder per key): it performs — or waits on and shares — the one
+/// build for that key, recording no further hit/miss, so N concurrent
+/// cold requests for one key still count exactly one miss and trigger
+/// exactly one build.
 
 #include <cstddef>
 #include <cstdint>

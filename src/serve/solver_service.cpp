@@ -76,12 +76,14 @@ SolverService::SolverService(ServiceOptions options)
                                              : workers_,
              store_) {
   options_.solver = normalized(options_.solver);
+  builders_ = options_.builders != 0 ? options_.builders : 1;
   clock_ = options_.clock != nullptr ? options_.clock : obs::default_clock();
   if (options_.trace_capacity != 0) {
-    // One stripe per long-lived thread (workers + builder), plus one of
-    // slack for submitter threads; hashing spreads them well enough.
+    // One stripe per long-lived thread (workers + builder pool), plus
+    // one of slack for submitter threads; hashing spreads them well
+    // enough.
     trace_ring_ = std::make_unique<obs::TraceRing>(
-        workers_ + 2, options_.trace_capacity);
+        workers_ + builders_ + 1, options_.trace_capacity);
   }
   // Installed before the prewarm loop and before any thread starts, so
   // every real plan materialisation — prewarm loads included — feeds the
@@ -108,7 +110,10 @@ SolverService::SolverService(ServiceOptions options)
       }
     }
   }
-  builder_thread_ = std::thread([this] { builder_loop(); });
+  builder_threads_.reserve(builders_);
+  for (std::size_t b = 0; b < builders_; ++b) {
+    builder_threads_.emplace_back([this] { builder_loop(); });
+  }
   worker_threads_.reserve(workers_);
   for (std::size_t w = 0; w < workers_; ++w) {
     worker_threads_.emplace_back([this] { worker_loop(); });
@@ -121,9 +126,10 @@ SolverService::~SolverService() {
   //    wake and fail the same way, and solve_all fills mid-flight stop
   //    back-pressuring and push their remainder (waited for below, so
   //    their jobs are queued before any worker may exit);
-  // 2. join the builder, which finishes building and requeues every
-  //    deferred job (cold jobs dequeued by workers from here on are
-  //    built inline — defer_to_builder refuses after builder_stop_);
+  // 2. join the builder pool — each builder keeps claiming and building
+  //    pending cold shapes until none remain, requeueing every deferred
+  //    job (cold jobs dequeued by workers from here on are built inline
+  //    — defer_to_builder refuses after builder_stop_);
   // 3. only then let workers exit on an empty queue, so every admitted
   //    job is drained — solved or expired — before threads die.
   {
@@ -137,7 +143,9 @@ SolverService::~SolverService() {
     builder_stop_ = true;
   }
   builder_cv_.notify_all();
-  builder_thread_.join();
+  for (std::thread& builder : builder_threads_) {
+    builder.join();
+  }
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     workers_exit_ = true;
@@ -150,32 +158,59 @@ SolverService::~SolverService() {
 
 std::future<core::SublinearResult> SolverService::submit(
     const dp::Problem& problem) {
-  return submit_job(problem, options_.solver, false, Deadline{});
+  return submit_job(problem, options_.solver, options_.default_priority,
+                    false, Deadline{});
 }
 
 std::future<core::SublinearResult> SolverService::submit(
     const dp::Problem& problem, const core::SublinearOptions& options) {
-  return submit_job(problem, options, false, Deadline{});
+  return submit_job(problem, options, options_.default_priority, false,
+                    Deadline{});
 }
 
 std::future<core::SublinearResult> SolverService::submit(
     const dp::Problem& problem, Deadline deadline) {
-  return submit_job(problem, options_.solver, true, deadline);
+  return submit_job(problem, options_.solver, options_.default_priority,
+                    true, deadline);
 }
 
 std::future<core::SublinearResult> SolverService::submit(
     const dp::Problem& problem, const core::SublinearOptions& options,
     Deadline deadline) {
-  return submit_job(problem, options, true, deadline);
+  return submit_job(problem, options, options_.default_priority, true,
+                    deadline);
+}
+
+std::future<core::SublinearResult> SolverService::submit(
+    const dp::Problem& problem, PriorityClass priority) {
+  return submit_job(problem, options_.solver, priority, false, Deadline{});
+}
+
+std::future<core::SublinearResult> SolverService::submit(
+    const dp::Problem& problem, PriorityClass priority, Deadline deadline) {
+  return submit_job(problem, options_.solver, priority, true, deadline);
+}
+
+std::future<core::SublinearResult> SolverService::submit(
+    const dp::Problem& problem, const core::SublinearOptions& options,
+    PriorityClass priority) {
+  return submit_job(problem, options, priority, false, Deadline{});
+}
+
+std::future<core::SublinearResult> SolverService::submit(
+    const dp::Problem& problem, const core::SublinearOptions& options,
+    PriorityClass priority, Deadline deadline) {
+  return submit_job(problem, options, priority, true, deadline);
 }
 
 std::future<core::SublinearResult> SolverService::submit_job(
     const dp::Problem& problem, const core::SublinearOptions& options,
-    bool has_deadline, Deadline deadline) {
+    PriorityClass priority, bool has_deadline, Deadline deadline) {
   Job job;
   job.problem = &problem;
   job.solve_options = normalized(options);
   job.has_promise = true;
+  job.priority = priority;
   job.has_deadline = has_deadline;
   job.deadline = deadline;
   job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
@@ -234,6 +269,8 @@ core::BatchResult SolverService::solve_all(
       job.pool = pool;
       job.batch = &call;
       job.slot = idx;
+      job.priority = PriorityClass::kBatch;  // batch traffic yields to
+                                             // interactive submits
       job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
       job.submit_time = clock_->now();
       trace(job.id, obs::TraceEventKind::kSubmit);
@@ -255,44 +292,59 @@ core::BatchResult SolverService::solve_all(
 }
 
 void SolverService::enqueue(Job&& job) {
+  const std::size_t cls = static_cast<std::size_t>(job.priority);
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     SUBDP_REQUIRE(!stopping_,
                   "SolverService::submit/solve_all after shutdown began");
     const std::size_t cap = options_.queue_capacity;
-    if (cap != 0 && queue_.size() >= cap) {
+    while (cap != 0 && queue_.size() >= cap && !stopping_) {
+      // Full: sweep expired jobs first — a queue of already-expired
+      // jobs frees its slots and admits new work instead of shedding
+      // it. The sweep strictly shrank the queue when it returns > 0,
+      // so this loop cannot spin.
+      if (sweep_expired_locked(clock_->now()) > 0) {
+        queue_not_full_.notify_all();
+        continue;
+      }
       if (options_.overload_policy == OverloadPolicy::kReject) {
         // Rejected submissions still count as submitted, so the
         // admission invariant (submitted == completed + rejected +
         // expired) holds without a separate denominator.
+        const std::size_t depth = queue_.size();
         {
           const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
           ++jobs_submitted_;
           ++jobs_rejected_;
+          ++class_submitted_[cls];
+          ++class_rejected_[cls];
         }
         trace(job.id, obs::TraceEventKind::kReject);
         throw core::AdmissionError(
             core::AdmissionError::Kind::kQueueFull,
             "SolverService::submit: dispatch queue full (" +
-                std::to_string(cap) + " jobs) under OverloadPolicy::kReject");
+                std::to_string(cap) + " jobs) under OverloadPolicy::kReject",
+            depth, estimate_retry_after(depth));
       }
-      // kBlock: back-pressure the submitter until a worker drains a
-      // slot. A shutdown racing this wait is a lifecycle misuse; fail
-      // it with the same diagnostic as a late submit.
+      // kBlock: back-pressure the submitter until a slot frees (worker
+      // pickup or a later sweep). A shutdown racing this wait is a
+      // lifecycle misuse; fail it with the same diagnostic as a late
+      // submit (the loop exit below re-checks `stopping_`).
       queue_not_full_.wait(
           lock, [&] { return queue_.size() < cap || stopping_; });
-      SUBDP_REQUIRE(!stopping_,
-                    "SolverService::submit/solve_all after shutdown began");
     }
+    SUBDP_REQUIRE(!stopping_,
+                  "SolverService::submit/solve_all after shutdown began");
     {
       // Counted *before* the job becomes visible, so `stats()` can never
       // observe jobs_completed > jobs_submitted.
       const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       ++jobs_submitted_;
+      ++class_submitted_[cls];
     }
     job.enqueue_time = clock_->now();
     trace(job.id, obs::TraceEventKind::kEnqueue);
-    queue_.push_back(std::move(job));
+    queue_.insert(std::move(job));
   }
   queue_cv_.notify_one();
 }
@@ -310,24 +362,31 @@ void SolverService::enqueue(std::deque<Job>&& jobs) {
     // Counted *before* the jobs become visible; see the overload above.
     const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     jobs_submitted_ += count;
+    class_submitted_[static_cast<std::size_t>(PriorityClass::kBatch)] +=
+        count;
   }
   const std::size_t cap = options_.queue_capacity;
   for (Job& job : jobs) {
-    if (cap != 0 && !stopping_ && queue_.size() >= cap) {
+    while (cap != 0 && !stopping_ && queue_.size() >= cap) {
       // Batch jobs are never shed: at capacity the solve_all caller
       // blocks here while workers drain ahead of it, whatever the
       // overload policy (the blocking surface is its own back-pressure).
-      // A shutdown racing a mid-batch fill stops back-pressuring and
-      // enqueues the remainder: the destructor waits for this fill to
-      // finish before workers may exit, so its drain completes every
+      // Expired jobs free their slots first, exactly as in the submit
+      // path. A shutdown racing a mid-batch fill stops back-pressuring
+      // and enqueues the remainder: the destructor waits for this fill
+      // to finish before workers may exit, so its drain completes every
       // queued job and the caller's BatchCall resolves normally.
+      if (sweep_expired_locked(clock_->now()) > 0) {
+        queue_not_full_.notify_all();
+        continue;
+      }
       queue_cv_.notify_all();  // wake workers to drain what is queued
       queue_not_full_.wait(
           lock, [&] { return queue_.size() < cap || stopping_; });
     }
     job.enqueue_time = clock_->now();
     trace(job.id, obs::TraceEventKind::kEnqueue);
-    queue_.push_back(std::move(job));
+    queue_.insert(std::move(job));
   }
   --batch_fills_;
   if (batch_fills_ == 0) batch_fills_done_.notify_all();
@@ -342,7 +401,7 @@ void SolverService::requeue(Job&& job) {
   // already-admitted job.
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
-    queue_.push_back(std::move(job));
+    queue_.insert(std::move(job));
   }
   queue_cv_.notify_one();
 }
@@ -350,32 +409,39 @@ void SolverService::requeue(Job&& job) {
 void SolverService::worker_loop() {
   for (;;) {
     Job job;
+    obs::Clock::time_point picked_up{};
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock,
                      [&] { return workers_exit_ || !queue_.empty(); });
       if (queue_.empty()) return;  // exiting, and fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      // Expiry sweep at pickup (every pickup, including after a cold
+      // handoff): anything past its deadline resolves right here —
+      // without touching the problem — before a job is chosen, so the
+      // extracted front is never expired. The worker already holds the
+      // queue lock; the sweep only walks the per-class expired
+      // prefixes, so this adds no locking point.
+      picked_up = clock_->now();
+      if (sweep_expired_locked(picked_up) > 0) {
+        queue_not_full_.notify_all();
+        if (queue_.empty()) continue;  // the whole backlog had expired
+      }
+      auto node = queue_.extract(queue_.begin());  // EDF order: begin()
+      job = std::move(node.value());
     }
     if (options_.queue_capacity != 0) {
       // A slot freed: wake every parked submitter/batch-filler — the
       // first through the lock takes it, the rest re-wait.
       queue_not_full_.notify_all();
     }
-    const obs::Clock::time_point picked_up = clock_->now();
     trace(job.id, obs::TraceEventKind::kDequeue);
     if (!job.queue_wait_recorded) {
       // Only the first pickup counts: a cold-deferred job's second
-      // dequeue would otherwise double-count its wait.
+      // dequeue would otherwise double-count its wait. (Swept-expired
+      // jobs never reach pickup and record no queue wait at all —
+      // `queue_wait.count` tracks jobs workers actually picked up.)
       job.queue_wait_recorded = true;
       queue_wait_hist_.record(elapsed_ns(job.enqueue_time, picked_up));
-    }
-    // Deadline gate at pickup (every pickup, including after a cold
-    // handoff): an expired job resolves without touching the problem.
-    if (job.has_deadline && picked_up >= job.deadline) {
-      expire_job(job);
-      continue;
     }
     if (job.pool == nullptr) {
       // submit() path: resolve the shape here, off the caller's thread.
@@ -409,41 +475,125 @@ bool SolverService::defer_to_builder(Job&& job) {
       ++jobs_cold_deferred_;
     }
     trace(job.id, obs::TraceEventKind::kColdDefer);
-    builder_queue_.push_back(std::move(job));
+    // Park the job on its shape's entry (created on first defer). Jobs
+    // arriving while a builder already owns the entry's build simply
+    // join it and are resolved by that same build.
+    ColdShape& shape =
+        builder_shapes_[PlanKey::make(job.problem->size(),
+                                      job.solve_options)];
+    shape.n = job.problem->size();
+    shape.options = job.solve_options;
+    shape.jobs.push_back(std::move(job));
   }
   builder_cv_.notify_one();
   return true;
 }
 
 void SolverService::builder_loop() {
-  for (;;) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(builder_mutex_);
-      builder_cv_.wait(
-          lock, [&] { return builder_stop_ || !builder_queue_.empty(); });
-      if (builder_queue_.empty()) return;  // stopping, and fully drained
-      job = std::move(builder_queue_.front());
-      builder_queue_.pop_front();
+  std::unique_lock<std::mutex> lock(builder_mutex_);
+  // The claimable shape with the most waiting requesters (ties break
+  // toward the smaller PlanKey — deterministic); end() when every entry
+  // is owned by another builder or the map is empty.
+  const auto hottest = [this] {
+    auto best = builder_shapes_.end();
+    for (auto it = builder_shapes_.begin(); it != builder_shapes_.end();
+         ++it) {
+      if (it->second.in_progress) continue;
+      if (best == builder_shapes_.end() ||
+          it->second.jobs.size() > best->second.jobs.size()) {
+        best = it;
+      }
     }
+    return best;
+  };
+  for (;;) {
+    builder_cv_.wait(lock, [&] {
+      return builder_stop_ || hottest() != builder_shapes_.end();
+    });
+    const auto claimed = hottest();
+    if (claimed == builder_shapes_.end()) {
+      // Stopping, and every pending shape is claimed: the owning
+      // builders drain their own jobs, so this one is done.
+      return;
+    }
+    // Claim the hottest shape and build with the mutex released — other
+    // builders claim *other* shapes concurrently (the cache's per-entry
+    // build lock only serialises same-key builds, which a claim already
+    // prevents here).
+    claimed->second.in_progress = true;
+    const PlanKey key = claimed->first;
+    const std::size_t n = claimed->second.n;
+    const core::SublinearOptions build_options = claimed->second.options;
+    lock.unlock();
+    // Once per shape build, not per waiting job (see ServiceOptions).
     if (options_.cold_build_hook) options_.cold_build_hook();
+    std::shared_ptr<SessionPool> pool;
+    std::exception_ptr error;
+    BuildSource source = BuildSource::kWarm;
     try {
-      // Concurrent cold jobs for one key serialise here on the cache's
-      // per-entry build lock and share the single build (the deferring
-      // try_acquire already counted the one miss).
-      BuildSource source = BuildSource::kWarm;
-      job.pool = cache_.build(job.problem->size(), job.solve_options,
-                              &source);
+      // The deferring try_acquire already counted the shape's one cache
+      // miss; every job that joined the entry shares this single build.
+      pool = cache_.build(n, build_options, &source);
+    } catch (...) {
+      // Plan validation failed: every waiting job's future carries the
+      // error, exactly as when workers built inline.
+      error = std::current_exception();
+    }
+    lock.lock();
+    const auto entry = builder_shapes_.find(key);
+    SUBDP_ASSERT(entry != builder_shapes_.end());
+    // Take *all* waiting jobs — including any that joined mid-build —
+    // and retire the entry; late arrivals re-create it and trigger a
+    // fresh (now warm) claim.
+    std::deque<Job> resolved = std::move(entry->second.jobs);
+    builder_shapes_.erase(entry);
+    lock.unlock();
+    for (Job& job : resolved) {
+      if (error != nullptr) {
+        fail_job(job, error);
+        continue;
+      }
+      job.pool = pool;
       trace(job.id, obs::TraceEventKind::kPlanReady,
             to_plan_source(source));
-    } catch (...) {
-      // Plan validation failed: the job's future carries the error,
-      // exactly as when workers built inline.
-      fail_job(job, std::current_exception());
-      continue;
+      requeue(std::move(job));
     }
-    requeue(std::move(job));
+    lock.lock();
   }
+}
+
+std::size_t SolverService::sweep_expired_locked(obs::Clock::time_point now) {
+  std::size_t freed = 0;
+  for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+    // Within a class, deadline-carrying jobs are a deadline-sorted
+    // prefix (deadline-free jobs rank at Deadline::max()), so the scan
+    // stops at the first unexpired job: O(expired + 1) per class.
+    auto it = queue_.lower_bound(
+        JobRank{static_cast<int>(cls), Deadline::min(), 0});
+    while (it != queue_.end() &&
+           static_cast<std::size_t>(it->priority) == cls &&
+           it->has_deadline && it->deadline <= now) {
+      auto node = queue_.extract(it++);
+      expire_job(node.value());
+      ++freed;
+    }
+  }
+  return freed;
+}
+
+std::chrono::nanoseconds SolverService::estimate_retry_after(
+    std::size_t depth) const {
+  // With `depth` queued jobs draining in about one typical (p50) queue
+  // wait, one slot frees in about p50/depth. No signal yet — an empty
+  // histogram, or only zero waits — falls back to the documented
+  // conservative default rather than advising an instant retry.
+  const obs::HistogramSnapshot waits = queue_wait_hist_.snapshot();
+  const double p50 = waits.p50();
+  if (waits.count == 0 || p50 <= 0.0 || depth == 0) {
+    return kRetryAfterConservativeDefault;
+  }
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(p50 / static_cast<double>(depth)));
 }
 
 void SolverService::run_job(Job& job) {
@@ -475,6 +625,7 @@ void SolverService::run_job(Job& job) {
     {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       ++jobs_completed_;
+      ++class_completed_[static_cast<std::size_t>(job.priority)];
       total_iterations_ += iterations;
       total_work_ += work;
       total_depth_ += depth;
@@ -511,6 +662,7 @@ void SolverService::expire_job(Job& job) {
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++jobs_expired_;
+    ++class_expired_[static_cast<std::size_t>(job.priority)];
   }
   trace(job.id, obs::TraceEventKind::kExpire);
   if (job.has_promise) {
@@ -525,6 +677,7 @@ void SolverService::fail_job(Job& job, std::exception_ptr error) {
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++jobs_completed_;
+    ++class_completed_[static_cast<std::size_t>(job.priority)];
   }
   // A failed job still *completed* (its future carries the error), so it
   // still records an end-to-end latency — keeping
@@ -557,6 +710,7 @@ void SolverService::trace(std::uint64_t job_id, obs::TraceEventKind kind,
 void SolverService::record_e2e(const Job& job) {
   const std::uint64_t ns = elapsed_ns(job.submit_time, clock_->now());
   e2e_hist_.record(ns);
+  e2e_class_hist_[static_cast<std::size_t>(job.priority)].record(ns);
   obs::LatencyHistogram* shape = nullptr;
   {
     // The mutex guards the map only; recording happens outside it on the
@@ -586,6 +740,7 @@ std::string SolverService::export_trace() const {
 ServiceStats SolverService::stats() const {
   ServiceStats out;
   out.workers = workers_;
+  out.builders = builders_;
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     out.jobs_submitted = jobs_submitted_;
@@ -593,6 +748,14 @@ ServiceStats SolverService::stats() const {
     out.jobs_rejected = jobs_rejected_;
     out.jobs_expired = jobs_expired_;
     out.jobs_cold_deferred = jobs_cold_deferred_;
+    PriorityClassStats* const slices[kPriorityClasses] = {&out.interactive,
+                                                          &out.batch};
+    for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+      slices[cls]->submitted = class_submitted_[cls];
+      slices[cls]->completed = class_completed_[cls];
+      slices[cls]->rejected = class_rejected_[cls];
+      slices[cls]->expired = class_expired_[cls];
+    }
     out.total_iterations = total_iterations_;
     out.total_work = total_work_;
     out.total_depth = total_depth_;
@@ -608,6 +771,12 @@ ServiceStats SolverService::stats() const {
   out.snapshot_load = snapshot_load_hist_.snapshot();
   out.solve = solve_hist_.snapshot();
   out.e2e = e2e_hist_.snapshot();
+  out.interactive.e2e =
+      e2e_class_hist_[static_cast<std::size_t>(PriorityClass::kInteractive)]
+          .snapshot();
+  out.batch.e2e =
+      e2e_class_hist_[static_cast<std::size_t>(PriorityClass::kBatch)]
+          .snapshot();
   out.trace_dropped = trace_ring_ != nullptr ? trace_ring_->dropped() : 0;
   if (store_ != nullptr) {
     const snapshot::SnapshotStoreStats s = store_->stats();
@@ -627,6 +796,7 @@ obs::MetricsRegistry SolverService::metrics() const {
     reg.set_gauge(name, static_cast<double>(value));
   };
   gauge("subdp_workers", s.workers);
+  gauge("subdp_builders", s.builders);
   gauge("subdp_jobs_submitted", s.jobs_submitted);
   gauge("subdp_jobs_completed", s.jobs_completed);
   gauge("subdp_jobs_rejected", s.jobs_rejected);
@@ -647,6 +817,20 @@ obs::MetricsRegistry SolverService::metrics() const {
   gauge("subdp_plan_cache_misses", s.plan_cache.misses);
   gauge("subdp_plan_cache_evictions", s.plan_cache.evictions);
   gauge("subdp_trace_dropped", s.trace_dropped);
+  // Per-priority-class slices: gauges suffixed by class (the registry's
+  // gauges carry no labels), histograms labelled like the per-shape ones.
+  const auto class_slice = [&](const char* cls,
+                               const PriorityClassStats& c) {
+    const std::string suffix = std::string("_") + cls;
+    gauge(("subdp_jobs_submitted" + suffix).c_str(), c.submitted);
+    gauge(("subdp_jobs_completed" + suffix).c_str(), c.completed);
+    gauge(("subdp_jobs_rejected" + suffix).c_str(), c.rejected);
+    gauge(("subdp_jobs_expired" + suffix).c_str(), c.expired);
+    reg.set_histogram("subdp_e2e_class_ns",
+                      "class=\"" + std::string(cls) + "\"", c.e2e);
+  };
+  class_slice(to_string(PriorityClass::kInteractive), s.interactive);
+  class_slice(to_string(PriorityClass::kBatch), s.batch);
   reg.set_histogram("subdp_queue_wait_ns", "", s.queue_wait);
   reg.set_histogram("subdp_plan_build_ns", "", s.plan_build);
   reg.set_histogram("subdp_snapshot_load_ns", "", s.snapshot_load);

@@ -38,16 +38,38 @@
 ///    `jobs_submitted == jobs_completed + jobs_rejected + jobs_expired`
 ///    holds once the queue drains).
 ///
+/// ## QoS intake: priority classes and EDF dispatch
+///
+/// The dispatch queue is not FIFO. Every job carries a **priority
+/// class** (`PriorityClass::kInteractive` or `kBatch`; `submit`
+/// overloads take one explicitly, otherwise
+/// `ServiceOptions::default_priority` applies, and `solve_all` traffic
+/// is always `kBatch`) and workers dequeue in **EDF order**: jobs are
+/// ordered by `(priority class, deadline, submit sequence)` — every
+/// interactive job ahead of every batch job, earlier deadlines first
+/// within a class (no deadline sorts as "infinitely late"), submission
+/// order breaking ties. A wall of `solve_all` batch traffic therefore
+/// cannot starve a deadline-carrying interactive job: the interactive
+/// job is simply next, however deep the batch backlog. Per-class
+/// counters and end-to-end latency histograms
+/// (`ServiceStats::interactive` / `::batch`) account each class
+/// separately; their sums equal the global counters.
+///
 /// Jobs may also carry a **deadline** (`submit` overloads taking a
-/// `Deadline`, a `std::chrono::steady_clock` time point). Deadlines are
-/// checked when a worker *picks the job up* (every pickup, including the
-/// one after a cold-build handoff, see below): a job whose deadline has
-/// passed resolves its future with `core::AdmissionError`
+/// `Deadline`, a `std::chrono::steady_clock` time point). There is no
+/// timer thread; instead expiry is a **lazy sweep** run at the two
+/// points the queue is already locked: when a worker picks up work and
+/// when an admission finds the bounded queue full. Within a class,
+/// deadline-carrying jobs form a deadline-sorted prefix of the EDF
+/// order, so the sweep inspects exactly the expired run plus one
+/// non-expired sentinel per class — O(expired + classes), never a full
+/// scan. A swept job resolves with `core::AdmissionError`
 /// (`Kind::kDeadlineExceeded`) without touching the problem — no
-/// session, no plan, not one `f()` call — and counts in
-/// `ServiceStats::jobs_expired`. There is no timer thread: a queued job
-/// whose deadline passes is expired lazily at dequeue, which is always
-/// "before a worker would have solved it".
+/// session, no plan, not one `f()` call — counts in
+/// `ServiceStats::jobs_expired`, and *frees its bounded-queue slot*:
+/// a queue full of already-expired jobs admits new work instead of
+/// shedding it. All deadline checks go through the injected
+/// `obs::Clock` seam, so tests drive expiry deterministically.
 ///
 /// The blocking surface `solve_all` participates differently, by
 /// design: its jobs carry **no deadlines** (the call blocks until every
@@ -57,20 +79,39 @@
 /// whatever the overload policy. `BatchSolver` therefore keeps its
 /// exact pre-service semantics under the new defaults.
 ///
-/// ## The background plan builder
+/// ## Retry-after hints
+///
+/// A `kReject` shed does not leave the client guessing: the thrown
+/// `core::AdmissionError` carries the exact queue depth at rejection
+/// and an estimated time until a slot frees, derived from the service's
+/// queue-wait histogram snapshot (`p50 wait / depth` — with depth jobs
+/// draining in about one typical wait, one slot frees in about that
+/// fraction of it). A service that has not yet observed a nonzero
+/// queue wait reports the conservative default
+/// `kRetryAfterConservativeDefault` instead. Clients back off for the
+/// hinted duration instead of spin-retrying (examples/quickstart.cpp
+/// demonstrates the loop).
+///
+/// ## The background builder pool
 ///
 /// Building a plan is the expensive cold-start step (O(n^2 B^2) entry
 /// lists and offset tables). Workers never build: on dequeueing a job
 /// whose `(n, options)` shape is cold (or still mid-build), the worker
-/// hands the job to the service's dedicated **builder thread**
-/// (`ServiceStats::jobs_cold_deferred`) and immediately goes back to
-/// draining warm work — one giant cold shape can no longer stall a
-/// solve worker. The builder resolves the shape through
-/// `PlanCache::build` (concurrent cold jobs for one key share a single
-/// build and count a single cache miss), then requeues the job — pool
-/// attached, admission not re-run — for any worker to solve. Plan
-/// validation errors surface through the job's future, exactly as they
-/// did when workers built inline.
+/// parks the job with the service's **builder pool**
+/// (`ServiceOptions::builders` threads; `ServiceStats::
+/// jobs_cold_deferred` counts each parked job) and immediately goes
+/// back to draining warm work — one giant cold shape can no longer
+/// stall a solve worker. Parked jobs are grouped by `PlanKey`; each
+/// idle builder picks the cold shape with the **most waiting
+/// requesters** (the hottest shape first), resolves it through
+/// `PlanCache::build`, then requeues every waiting job — pool attached,
+/// admission not re-run — for any worker to solve. Distinct keys build
+/// concurrently across the pool (the cache's per-entry build lock only
+/// serialises same-key builds); a shape is claimed by exactly one
+/// builder at a time, so concurrent cold jobs for one key still share a
+/// single build and count a single cache miss. Plan validation errors
+/// surface through every waiting job's future, exactly as they did
+/// when workers built inline.
 ///
 /// ## Thread-safety & lifecycle contract
 ///
@@ -78,6 +119,19 @@
 ///    thread, concurrently. `solve_all` must not be called from a job
 ///    running on this service (the caller would block on capacity its
 ///    own job occupies).
+///  * Lock audit. `queue_mutex_` guards the EDF structure (`queue_`, a
+///    `std::multiset` ordered by the `(class, deadline, seq)` rank) and
+///    the intake flags; the expiry sweep runs under it at pickup — the
+///    worker already holds the lock to dequeue, and the sweep touches
+///    only the per-class expired prefixes, so workers stay lock-light
+///    (no second locking point, no timer thread, no full-queue scan).
+///    `builder_mutex_` guards the cold-shape map (waiting requesters +
+///    in-progress claims); builds themselves run with no service lock
+///    held (the cache's per-entry lock serialises same-key builds).
+///    `stats_mutex_` guards the counters and the per-shape histogram
+///    map; histograms record on their own atomics outside it. Lock
+///    order: `queue_mutex_` or `builder_mutex_` before `stats_mutex_`;
+///    `queue_mutex_` and `builder_mutex_` are never held together.
 ///  * Plans are immutable and shared; sessions are strictly per-worker
 ///    (leased for exactly one solve); `dp::Problem` implementations
 ///    must tolerate concurrent const calls (problem.hpp contract). A
@@ -87,10 +141,11 @@
 ///    still waiting for space are woken and fail the same way, while a
 ///    `solve_all` caught mid-fill stops back-pressuring and finishes
 ///    queueing — the destructor waits for it, so the call completes
-///    normally), then joins the builder (which finishes building and
-///    requeues every deferred job), then the workers, which drain every
-///    queued job — solving admitted work, expiring what is past its
-///    deadline. Every future obtained from `submit` is therefore
+///    normally), then joins the builder pool (each builder keeps
+///    claiming and building pending cold shapes until none remain,
+///    requeueing every deferred job), then the workers, which drain
+///    every queued job — solving admitted work, expiring what is past
+///    its deadline. Every future obtained from `submit` is therefore
 ///    resolved — value, solver error, or `AdmissionError` — and remains
 ///    valid after destruction; no promise is ever broken.
 ///  * Determinism: admission decides *whether and when* a job runs,
@@ -127,6 +182,7 @@
 ///                                                // admission ledger
 /// ```
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -138,6 +194,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <span>
 #include <thread>
 #include <vector>
@@ -170,6 +227,33 @@ enum class OverloadPolicy {
 /// resolves with `core::AdmissionError` instead of solving.
 using Deadline = std::chrono::steady_clock::time_point;
 
+/// Dispatch class of a job: the EDF queue orders by
+/// `(priority class, deadline, submit seq)`, so every interactive job
+/// dequeues ahead of every batch job. `solve_all` traffic is always
+/// `kBatch`; `submit` jobs default to `ServiceOptions::default_priority`
+/// unless an overload names a class. Enumerator values are the queue-rank
+/// sort keys (and the per-class accounting indices) — keep `kInteractive`
+/// lowest.
+enum class PriorityClass : int {
+  kInteractive = 0,  ///< Latency-sensitive; dequeued first.
+  kBatch = 1,        ///< Throughput traffic; yields to interactive.
+};
+
+/// Number of priority classes (per-class counter/histogram arrays).
+inline constexpr std::size_t kPriorityClasses = 2;
+
+[[nodiscard]] constexpr const char* to_string(PriorityClass c) noexcept {
+  return c == PriorityClass::kInteractive ? "interactive" : "batch";
+}
+
+/// Retry-after hint reported on `kQueueFull` rejections when the
+/// queue-wait histogram has no signal yet (empty, or every recorded wait
+/// was zero): a deliberately small, conservative backoff — long enough to
+/// stop a spin loop, short enough that a real drain estimate takes over
+/// after the first few completions.
+inline constexpr std::chrono::nanoseconds kRetryAfterConservativeDefault =
+    std::chrono::milliseconds(1);
+
 /// Configuration of a `SolverService`.
 struct ServiceOptions {
   /// Solver configuration applied to `submit(problem)` / `solve_all`
@@ -178,6 +262,13 @@ struct ServiceOptions {
   core::SublinearOptions solver;
   /// Worker threads executing solves (0 = `hardware_concurrency`).
   std::size_t workers = 0;
+  /// Builder-pool threads resolving cold plan shapes (0 = 1). Distinct
+  /// shapes build concurrently across the pool; same-key builds are
+  /// still coalesced into one (one cache miss), whatever the pool size.
+  std::size_t builders = 1;
+  /// Priority class applied to `submit` calls that do not name one.
+  /// `solve_all` traffic is always `PriorityClass::kBatch` regardless.
+  PriorityClass default_priority = PriorityClass::kInteractive;
   /// Shapes kept resident in the plan cache (LRU beyond this).
   std::size_t plan_capacity = 32;
   /// Session cap per plan (0 = match the worker count — more can never
@@ -198,10 +289,11 @@ struct ServiceOptions {
   /// a restarted replica serves its first requests with zero cold-path
   /// stalls. See snapshot/snapshot_store.hpp.
   std::string snapshot_dir;
-  /// Instrumentation/test seam: when set, invoked on the builder thread
-  /// before each cold-build it resolves (admission tests gate this to
-  /// hold the builder busy deterministically). Leave empty in
-  /// production.
+  /// Instrumentation/test seam: when set, invoked on a builder-pool
+  /// thread once per cold *shape* it claims, just before the build
+  /// (admission tests gate this to hold builders busy deterministically;
+  /// concurrent cold jobs coalesced into one build trigger it once).
+  /// Leave empty in production.
   std::function<void()> cold_build_hook;
   /// Monotonic clock behind deadlines, stage latencies, and trace
   /// timestamps (null = the shared `obs::SteadyClock`). Tests inject an
@@ -215,6 +307,22 @@ struct ServiceOptions {
   std::size_t trace_capacity = 8192;
 };
 
+/// Per-priority-class slice of the admission ledger plus that class's
+/// end-to-end latency distribution. The class slices partition the
+/// global counters: summed over `interactive` and `batch`, each field
+/// equals its `ServiceStats` counterpart, and the drained invariant
+/// `submitted == completed + rejected + expired` holds per class (the
+/// QoS and fuzz suites assert both).
+struct PriorityClassStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  /// Submit-to-resolution latency of this class's completed jobs
+  /// (`e2e.count == completed` once drained).
+  obs::HistogramSnapshot e2e;
+};
+
 /// One consistent snapshot of a service's aggregate accounting.
 ///
 /// Admission invariant: once the queue has drained (e.g. after the
@@ -222,6 +330,7 @@ struct ServiceOptions {
 /// `jobs_submitted == jobs_completed + jobs_rejected + jobs_expired`.
 struct ServiceStats {
   std::size_t workers = 0;
+  std::size_t builders = 0;  ///< Builder-pool threads (resolved, >= 1).
   std::uint64_t jobs_submitted = 0;  ///< `submit`s (incl. rejected) +
                                      ///< `solve_all` instances.
   std::uint64_t jobs_completed = 0;  ///< Solved, or failed in the solver
@@ -268,6 +377,10 @@ struct ServiceStats {
   /// End-to-end latency split by plan shape (label "n<N>-<variant>-
   /// <square mode>"), sorted by label.
   std::vector<std::pair<std::string, obs::HistogramSnapshot>> e2e_by_shape;
+  /// Per-priority-class admission slices; they partition the global
+  /// counters (see `PriorityClassStats`).
+  PriorityClassStats interactive;
+  PriorityClassStats batch;
   /// Trace events lost to a full ring stripe (0 with tracing disabled).
   std::uint64_t trace_dropped = 0;
 };
@@ -279,18 +392,21 @@ class SolverService {
   explicit SolverService(ServiceOptions options = {});
 
   /// Drains every queued job (solving or expiring it), then stops the
-  /// builder and the workers. Futures obtained from `submit` are all
-  /// resolved and remain valid after destruction.
+  /// builder pool and the workers. Futures obtained from `submit` are
+  /// all resolved and remain valid after destruction.
   ~SolverService();
 
   SolverService(const SolverService&) = delete;
   SolverService& operator=(const SolverService&) = delete;
 
   /// Asynchronously solves `problem` under the service options (or the
-  /// per-call `options` overload), optionally bounded by `deadline`.
-  /// The problem must stay alive until the future is ready. Safe from
-  /// any thread, including concurrently. With a bounded queue this may
-  /// block (`kBlock`) or throw `core::AdmissionError` (`kReject`); a
+  /// per-call `options` overload), optionally bounded by `deadline` and
+  /// classed by `priority` (`ServiceOptions::default_priority` when no
+  /// overload names one — see the file comment's QoS section for the
+  /// dequeue order). The problem must stay alive until the future is
+  /// ready. Safe from any thread, including concurrently. With a
+  /// bounded queue this may block (`kBlock`) or throw
+  /// `core::AdmissionError` (`kReject`, carrying a retry-after hint); a
   /// job whose deadline passes before pickup resolves its future with
   /// `core::AdmissionError` instead of solving.
   [[nodiscard]] std::future<core::SublinearResult> submit(
@@ -302,6 +418,17 @@ class SolverService {
   [[nodiscard]] std::future<core::SublinearResult> submit(
       const dp::Problem& problem, const core::SublinearOptions& options,
       Deadline deadline);
+  [[nodiscard]] std::future<core::SublinearResult> submit(
+      const dp::Problem& problem, PriorityClass priority);
+  [[nodiscard]] std::future<core::SublinearResult> submit(
+      const dp::Problem& problem, PriorityClass priority,
+      Deadline deadline);
+  [[nodiscard]] std::future<core::SublinearResult> submit(
+      const dp::Problem& problem, const core::SublinearOptions& options,
+      PriorityClass priority);
+  [[nodiscard]] std::future<core::SublinearResult> submit(
+      const dp::Problem& problem, const core::SublinearOptions& options,
+      PriorityClass priority, Deadline deadline);
 
   /// Solves every instance, blocking until all are done. Groups by shape
   /// for the ledger, dispatches instances across the workers, returns
@@ -335,6 +462,9 @@ class SolverService {
 
   /// Worker threads executing solves (resolved, >= 1).
   [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// Builder-pool threads resolving cold shapes (resolved, >= 1).
+  [[nodiscard]] std::size_t builders() const noexcept { return builders_; }
 
   /// The resident plan for shape `n` under the service options (or the
   /// per-call overload); null when not cached. Does not touch LRU order.
@@ -373,6 +503,8 @@ class SolverService {
     bool has_promise = false;
     BatchCall* batch = nullptr;
     std::size_t slot = 0;
+    /// EDF rank, major key: interactive dequeues ahead of batch.
+    PriorityClass priority = PriorityClass::kInteractive;
     /// Expiry instant; only submit jobs carry one (`has_deadline`).
     bool has_deadline = false;
     Deadline deadline{};
@@ -386,13 +518,64 @@ class SolverService {
     bool queue_wait_recorded = false;
   };
 
+  /// EDF sort key of a queued job: `(priority class, deadline, submit
+  /// seq)`, tuple-compared. A job without a deadline ranks as
+  /// "infinitely late" (`Deadline::max()`), so within a class the
+  /// deadline-carrying jobs form a deadline-sorted prefix — exactly the
+  /// run the expiry sweep walks. `seq` is the service-unique job id,
+  /// assigned monotonically at submit, so ties preserve submission
+  /// order and no two queued jobs rank equal.
+  struct JobRank {
+    int cls = 0;
+    Deadline deadline = Deadline::max();
+    std::uint64_t seq = 0;
+  };
+
+  [[nodiscard]] static JobRank rank_of(const Job& job) noexcept {
+    return JobRank{static_cast<int>(job.priority),
+                   job.has_deadline ? job.deadline : Deadline::max(),
+                   job.id};
+  }
+
+  /// Strict weak order over queued jobs (and, transparently, bare
+  /// `JobRank`s — the sweep seeks a class's first job without
+  /// materialising a probe `Job`).
+  struct JobOrder {
+    using is_transparent = void;
+    [[nodiscard]] static bool less(const JobRank& a,
+                                   const JobRank& b) noexcept {
+      if (a.cls != b.cls) return a.cls < b.cls;
+      if (a.deadline != b.deadline) return a.deadline < b.deadline;
+      return a.seq < b.seq;
+    }
+    bool operator()(const Job& a, const Job& b) const noexcept {
+      return less(rank_of(a), rank_of(b));
+    }
+    bool operator()(const Job& a, const JobRank& b) const noexcept {
+      return less(rank_of(a), b);
+    }
+    bool operator()(const JobRank& a, const Job& b) const noexcept {
+      return less(a, rank_of(b));
+    }
+  };
+
+  /// One cold plan shape parked at the builder pool: the jobs waiting
+  /// on its build plus whether a builder currently owns it. Guarded by
+  /// `builder_mutex_`; the build itself runs with the mutex released.
+  struct ColdShape {
+    std::size_t n = 0;
+    core::SublinearOptions options;  ///< Normalised (cache-key) options.
+    std::deque<Job> jobs;
+    bool in_progress = false;
+  };
+
   /// Applies the `workers > 1` backend normalisation; see file comment.
   [[nodiscard]] core::SublinearOptions normalized(
       core::SublinearOptions options) const;
 
   [[nodiscard]] std::future<core::SublinearResult> submit_job(
       const dp::Problem& problem, const core::SublinearOptions& options,
-      bool has_deadline, Deadline deadline);
+      PriorityClass priority, bool has_deadline, Deadline deadline);
 
   /// Admission for one submit job: counts the submission, applies the
   /// bounded-queue policy (throws `AdmissionError` under `kReject`,
@@ -408,10 +591,22 @@ class SolverService {
 
   void worker_loop();
   void builder_loop();
-  /// Hands a cold job to the builder thread; after the builder has been
-  /// stopped (destructor drain), the caller builds inline instead.
-  /// Returns true when the job was handed off.
+  /// Parks a cold job with the builder pool (grouped by plan key);
+  /// after the pool has been stopped (destructor drain), the caller
+  /// builds inline instead. Returns true when the job was handed off.
   [[nodiscard]] bool defer_to_builder(Job&& job);
+  /// Resolves every queued job whose deadline has passed as of `now`
+  /// (`queue_mutex_` held by the caller): each is extracted, counted in
+  /// `jobs_expired`, and its future fails with `kDeadlineExceeded` —
+  /// the problem is never touched. Walks only the per-class expired
+  /// prefixes of the EDF order. Returns the number of slots freed (the
+  /// caller notifies `queue_not_full_` when nonzero).
+  std::size_t sweep_expired_locked(obs::Clock::time_point now);
+  /// Drain-time estimate behind the `kQueueFull` retry-after hint:
+  /// p50 queue wait / depth, or `kRetryAfterConservativeDefault` when
+  /// the histogram has no nonzero signal yet.
+  [[nodiscard]] std::chrono::nanoseconds estimate_retry_after(
+      std::size_t depth) const;
   void run_job(Job& job);
   /// Resolves a job whose deadline passed before pickup; never solves.
   void expire_job(Job& job);
@@ -432,6 +627,7 @@ class SolverService {
 
   ServiceOptions options_;
   std::size_t workers_ = 1;
+  std::size_t builders_ = 1;
   /// Declared before `cache_`: the cache holds a copy of this pointer
   /// and its builds write through it.
   std::shared_ptr<snapshot::SnapshotStore> store_;
@@ -440,9 +636,12 @@ class SolverService {
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  /// Signalled when a worker frees a queue slot (bounded queue only).
+  /// Signalled when a queue slot frees (worker pickup or expiry sweep;
+  /// bounded queue only).
   std::condition_variable queue_not_full_;
-  std::deque<Job> queue_;
+  /// The EDF dispatch queue: ordered by `JobRank`, dequeued from
+  /// `begin()`. Guarded by `queue_mutex_`.
+  std::multiset<Job, JobOrder> queue_;
   /// Intake closed: late submit/solve_all calls fail a SUBDP_REQUIRE.
   bool stopping_ = false;
   /// Workers may exit once the queue is drained (set strictly after the
@@ -458,7 +657,9 @@ class SolverService {
 
   mutable std::mutex builder_mutex_;
   std::condition_variable builder_cv_;
-  std::deque<Job> builder_queue_;
+  /// Cold shapes awaiting (or undergoing) a build, with their parked
+  /// jobs. Idle builders claim the shape with the most waiting jobs.
+  std::map<PlanKey, ColdShape> builder_shapes_;
   bool builder_stop_ = false;
 
   mutable std::mutex stats_mutex_;
@@ -467,6 +668,12 @@ class SolverService {
   std::uint64_t jobs_rejected_ = 0;
   std::uint64_t jobs_expired_ = 0;
   std::uint64_t jobs_cold_deferred_ = 0;
+  /// Per-priority-class slices of the admission counters, indexed by
+  /// the `PriorityClass` enumerator value; they partition the globals.
+  std::array<std::uint64_t, kPriorityClasses> class_submitted_{};
+  std::array<std::uint64_t, kPriorityClasses> class_completed_{};
+  std::array<std::uint64_t, kPriorityClasses> class_rejected_{};
+  std::array<std::uint64_t, kPriorityClasses> class_expired_{};
   std::uint64_t total_iterations_ = 0;
   std::uint64_t total_work_ = 0;
   std::uint64_t total_depth_ = 0;
@@ -488,9 +695,12 @@ class SolverService {
   obs::LatencyHistogram snapshot_load_hist_;
   obs::LatencyHistogram solve_hist_;
   obs::LatencyHistogram e2e_hist_;
+  /// Per-priority-class end-to-end latency, indexed like the class
+  /// counters; lock-free recording.
+  std::array<obs::LatencyHistogram, kPriorityClasses> e2e_class_hist_;
 
-  /// The dedicated cold-plan builder; see the file comment.
-  std::thread builder_thread_;
+  /// The cold-plan builder pool; see the file comment.
+  std::vector<std::thread> builder_threads_;
   /// Long-lived queue consumers. Last member: joined (and thereby done
   /// touching every other member) before anything else is destroyed.
   std::vector<std::thread> worker_threads_;

@@ -328,19 +328,23 @@ TEST(Admission, StatsCountersMatchExactExpectedValues) {
   auto expired = service.submit(
       doomed, manual->now() - std::chrono::seconds(1));
   auto ok = service.submit(normal);
-  // 5: the overflow submit is rejected.
+  // 5: the overflow submit *sweeps the expired job out* and takes its
+  // slot — a queue full of expired work admits instead of shedding.
+  auto admitted = service.submit(normal);
+  expect_admission_error(expired, AdmissionError::Kind::kDeadlineExceeded);
+  // 6: the queue is now full of live jobs: this overflow is rejected.
   EXPECT_THROW((void)service.submit(normal), AdmissionError);
 
   gated.gate()->open_gate();
   EXPECT_EQ(gated_future.get().cost,
             dp::solve_sequential(gated.inner()).cost);
-  expect_admission_error(expired, AdmissionError::Kind::kDeadlineExceeded);
   EXPECT_EQ(doomed.calls(), 0u);
   EXPECT_EQ(ok.get().cost, dp::solve_sequential(normal).cost);
+  EXPECT_EQ(admitted.get().cost, dp::solve_sequential(normal).cost);
 
   const auto stats = service.stats();
-  EXPECT_EQ(stats.jobs_submitted, 5u);
-  EXPECT_EQ(stats.jobs_completed, 3u);  // cold, gated, normal
+  EXPECT_EQ(stats.jobs_submitted, 6u);
+  EXPECT_EQ(stats.jobs_completed, 4u);  // cold, gated, normal, admitted
   EXPECT_EQ(stats.jobs_rejected, 1u);
   EXPECT_EQ(stats.jobs_expired, 1u);
   EXPECT_EQ(stats.jobs_cold_deferred, 1u);  // the first submit only
@@ -481,6 +485,236 @@ TEST(Admission, DestructionWaitsForAMidBatchFill) {
               dp::solve_sequential(rest[k]).cost)
         << "instance " << k + 1;
   }
+}
+
+/// A counting gate for the builder pool: each `enter()` (called from
+/// `cold_build_hook`) consumes one token, blocking until one is
+/// granted, and announces itself — so tests release builds one at a
+/// time and observe exactly how many are in flight.
+struct TokenGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t tokens = 0;
+  std::size_t entered = 0;
+
+  void enter() {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lock, [&] { return tokens > 0; });
+    --tokens;
+  }
+  void release(std::size_t k) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      tokens += k;
+    }
+    cv.notify_all();
+  }
+  void wait_entered(std::size_t k) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return entered >= k; });
+  }
+};
+
+TEST(Admission, BuilderPoolBuildsDistinctShapesConcurrently) {
+  support::Rng rng(809);
+  const auto cold_a = dp::MatrixChainProblem::random(14, rng);
+  const auto cold_b = dp::MatrixChainProblem::random(16, rng);
+
+  const auto gate = std::make_shared<TokenGate>();
+  ServiceOptions options;
+  options.workers = 1;
+  options.builders = 2;
+  options.cold_build_hook = [gate] { gate->enter(); };
+  SolverService service(options);
+  EXPECT_EQ(service.builders(), 2u);
+  EXPECT_EQ(service.stats().builders, 2u);
+
+  auto f_a = service.submit(cold_a);
+  auto f_b = service.submit(cold_b);
+
+  // Two distinct cold keys, two builders: both claims enter the build
+  // hook with neither released — two builds genuinely in flight at
+  // once (a single builder could never get here: its first build
+  // blocks the second claim).
+  gate->wait_entered(2);
+
+  gate->release(2);
+  core::SublinearSolver independent;
+  const auto expected_a = independent.solve(cold_a);
+  const auto expected_b = independent.solve(cold_b);
+  const auto got_a = f_a.get();
+  const auto got_b = f_b.get();
+  EXPECT_EQ(got_a.cost, expected_a.cost);
+  EXPECT_TRUE(got_a.w == expected_a.w);
+  EXPECT_EQ(got_b.cost, expected_b.cost);
+  EXPECT_TRUE(got_b.w == expected_b.w);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.jobs_cold_deferred, 2u);
+  EXPECT_EQ(stats.plan_cache.misses, 2u);
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  expect_accounted(stats);
+}
+
+TEST(Admission, ColdCoalescingStillCountsOneMissWithTwoBuilders) {
+  constexpr std::size_t kSameShape = 6;
+  support::Rng rng(810);
+  std::vector<dp::MatrixChainProblem> problems;
+  for (std::size_t k = 0; k < kSameShape; ++k) {
+    problems.push_back(dp::MatrixChainProblem::random(15, rng));
+  }
+
+  const auto gate = std::make_shared<TokenGate>();
+  ServiceOptions options;
+  options.workers = 2;
+  options.builders = 2;
+  options.cold_build_hook = [gate] { gate->enter(); };
+  SolverService service(options);
+
+  std::vector<std::future<core::SublinearResult>> futures;
+  for (const auto& p : problems) futures.push_back(service.submit(p));
+
+  // Every same-key job parks on the one claimed entry; the second
+  // builder finds nothing claimable and sleeps.
+  const auto poll_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.stats().jobs_cold_deferred < kSameShape &&
+         std::chrono::steady_clock::now() < poll_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().jobs_cold_deferred, kSameShape);
+  EXPECT_EQ(service.stats().plan_cache.misses, 1u)
+      << "concurrent cold submits for one key must count a single miss";
+  {
+    const std::lock_guard<std::mutex> lock(gate->mutex);
+    EXPECT_EQ(gate->entered, 1u)
+        << "one shape must be claimed by exactly one builder";
+  }
+
+  gate->release(kSameShape);  // ample: only one build should draw one
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    core::SublinearSolver independent;
+    const auto expected = independent.solve(problems[k]);
+    const auto got = futures[k].get();
+    EXPECT_EQ(got.cost, expected.cost) << "instance " << k;
+    EXPECT_TRUE(got.w == expected.w) << "instance " << k;
+  }
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.plan_cache.misses, 1u)
+      << "the shared build must have happened exactly once";
+  EXPECT_EQ(stats.jobs_cold_deferred, kSameShape);
+  EXPECT_EQ(stats.jobs_completed, kSameShape);
+  expect_accounted(stats);
+}
+
+TEST(Admission, BuilderPicksTheShapeWithMostWaitingRequestersFirst) {
+  support::Rng rng(811);
+  const auto first = dp::MatrixChainProblem::random(18, rng);
+  // The lukewarm shape is submitted before the hot one AND has the
+  // smaller plan key, so both submission order and key order would
+  // pick it — only requester-count priority picks the hot shape.
+  const auto lukewarm = dp::MatrixChainProblem::random(14, rng);
+  std::vector<dp::MatrixChainProblem> hot;
+  for (int k = 0; k < 3; ++k) {
+    hot.push_back(dp::MatrixChainProblem::random(16, rng));
+  }
+
+  const auto gate = std::make_shared<TokenGate>();
+  ServiceOptions options;
+  options.workers = 1;
+  options.builders = 1;  // a single builder makes the pick observable
+  options.cold_build_hook = [gate] { gate->enter(); };
+  SolverService service(options);
+
+  // Hold the builder in the first shape's build while the contest
+  // accumulates: one lukewarm requester vs three hot ones.
+  auto f_first = service.submit(first);
+  gate->wait_entered(1);
+  auto f_lukewarm = service.submit(lukewarm);
+  std::vector<std::future<core::SublinearResult>> f_hot;
+  for (const auto& p : hot) f_hot.push_back(service.submit(p));
+  const auto poll_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.stats().jobs_cold_deferred < 5 &&
+         std::chrono::steady_clock::now() < poll_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().jobs_cold_deferred, 5u);
+
+  // Token 1 finishes the first build; the builder's next claim is the
+  // hot shape (3 waiting requesters beat 1). Token 2 releases exactly
+  // that build: every hot future resolves while the lukewarm job —
+  // earlier submitted, smaller key — is still parked behind gate
+  // entry 3.
+  gate->release(1);
+  gate->wait_entered(2);
+  gate->release(1);
+  gate->wait_entered(3);
+  EXPECT_EQ(f_first.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  for (std::size_t k = 0; k < f_hot.size(); ++k) {
+    ASSERT_EQ(f_hot[k].wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "hot instance " << k << " must be built before the lukewarm "
+        << "shape (3 requesters beat 1)";
+    EXPECT_EQ(f_hot[k].get().cost, dp::solve_sequential(hot[k]).cost);
+  }
+  EXPECT_EQ(f_lukewarm.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "the lukewarm build ran ahead of the hotter shape";
+
+  gate->release(1);
+  EXPECT_EQ(f_lukewarm.get().cost, dp::solve_sequential(lukewarm).cost);
+  EXPECT_EQ(f_first.get().cost, dp::solve_sequential(first).cost);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.jobs_completed, 5u);
+  EXPECT_EQ(stats.plan_cache.misses, 3u);
+  expect_accounted(stats);
+}
+
+TEST(Admission, ShutdownDrainsBuildersThenWorkersResolvingEveryFuture) {
+  support::Rng rng(812);
+  const auto cold_a = dp::MatrixChainProblem::random(14, rng);
+  const auto cold_b = dp::MatrixChainProblem::random(16, rng);
+
+  std::future<core::SublinearResult> f_a;
+  std::future<core::SublinearResult> f_b;
+  {
+    const auto gate = std::make_shared<TokenGate>();
+    ServiceOptions options;
+    options.workers = 1;
+    options.builders = 2;
+    options.cold_build_hook = [gate] { gate->enter(); };
+    SolverService service(options);
+    // Destroyed before `service` (reverse declaration order), so the
+    // tokens land exactly when the destructor starts waiting on its
+    // builders — the drain itself is what resolves the futures.
+    struct Release {
+      std::shared_ptr<TokenGate> gate;
+      ~Release() { gate->release(1000); }
+    } release{gate};
+
+    f_a = service.submit(cold_a);
+    f_b = service.submit(cold_b);
+    gate->wait_entered(2);  // both builds claimed, neither released
+  }
+
+  // The destructor joined builders first (both builds finished and
+  // requeued their jobs), then workers (which solved them): both
+  // futures are resolved — with full results — after destruction.
+  core::SublinearSolver independent;
+  const auto expected_a = independent.solve(cold_a);
+  const auto expected_b = independent.solve(cold_b);
+  const auto got_a = f_a.get();
+  const auto got_b = f_b.get();
+  EXPECT_EQ(got_a.cost, expected_a.cost);
+  EXPECT_TRUE(got_a.w == expected_a.w);
+  EXPECT_EQ(got_b.cost, expected_b.cost);
+  EXPECT_TRUE(got_b.w == expected_b.w);
 }
 
 TEST(Admission, SolveAllBypassesSheddingAndExpiry) {
